@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark targets.
+
+Every figure/table of the paper's evaluation has one file here.  Sizes are
+environment-configurable so the paper's exact shape (3 sessions × 3
+transactions, 5 programs per application, 30-minute timeout) can be dialed
+in when time allows:
+
+    REPRO_BENCH_SESSIONS=3 REPRO_BENCH_TXNS=3 REPRO_BENCH_PROGRAMS=5 \
+    REPRO_BENCH_TIMEOUT=1800 pytest benchmarks/ --benchmark-only
+
+The defaults below are scaled for the pure-Python substrate (the paper's
+implementation is JPF/Java on an M1); the *shape* assertions are identical
+at either size.  Rendered result tables are written to
+``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+#: Suite shape (paper: sessions=3, txns=3, programs=5, timeout=1800).
+SESSIONS = env_int("REPRO_BENCH_SESSIONS", 3)
+TXNS = env_int("REPRO_BENCH_TXNS", 2)
+PROGRAMS_PER_APP = env_int("REPRO_BENCH_PROGRAMS", 5)
+TIMEOUT = env_float("REPRO_BENCH_TIMEOUT", 30.0)
+
+#: Scalability sweeps (paper: up to 5 sessions / 5 txns per session).
+MAX_SESSIONS = env_int("REPRO_BENCH_MAX_SESSIONS", 4)
+MAX_TXNS = env_int("REPRO_BENCH_MAX_TXNS", 4)
+SCALING_PROGRAMS = env_int("REPRO_BENCH_SCALING_PROGRAMS", 2)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")

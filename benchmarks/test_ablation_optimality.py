@@ -1,0 +1,90 @@
+"""Ablation — what the Optimality restriction (§5.3) buys.
+
+DESIGN.md calls out the swap restriction (``swapped`` + ``readLatest``) as
+the design choice making explore-ce strongly optimal.  This bench disables
+it (``restrict_swaps=False``: swap whenever the result is consistent) and
+measures the redundancy that comes back: duplicate history outputs and
+extra explore calls — the Figs. 12/13 phenomenon at benchmark scale.
+"""
+
+import pytest
+
+from conftest import TIMEOUT, save_result
+from repro.apps import client_program
+from repro.bench import format_table
+from repro.dpor import SwappingExplorer
+from repro.isolation import get_level
+
+PROGRAMS = [
+    ("courseware", 3, 2, 0),
+    ("twitter", 3, 2, 1),
+    ("wikipedia", 3, 2, 1),
+    ("tpcc", 3, 2, 1),
+]
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    rows = []
+    cc = get_level("CC")
+    for app, sessions, txns, seed in PROGRAMS:
+        program = client_program(app, sessions, txns, seed)
+        optimal = SwappingExplorer(program, cc, timeout=TIMEOUT).run()
+        unrestricted = SwappingExplorer(
+            program, cc, restrict_swaps=False, timeout=TIMEOUT
+        ).run()
+        rows.append((program.name, optimal, unrestricted))
+    return rows
+
+
+def test_ablation(benchmark, ablation_rows, results_dir):
+    from repro.apps import client_program
+
+    program = client_program("courseware", 3, 2, 0)
+    benchmark.pedantic(
+        lambda: SwappingExplorer(
+            program, get_level("CC"), restrict_swaps=False, timeout=TIMEOUT
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        ["program", "variant", "outputs", "duplicates", "explore calls", "time (s)", "timeout"],
+        [
+            row
+            for name, optimal, unrestricted in ablation_rows
+            for row in (
+                [name, "optimality ON", optimal.stats.outputs, optimal.histories.duplicates,
+                 optimal.stats.explore_calls, round(optimal.stats.seconds, 3),
+                 "TL" if optimal.stats.timed_out else ""],
+                [name, "optimality OFF", unrestricted.stats.outputs,
+                 unrestricted.histories.duplicates, unrestricted.stats.explore_calls,
+                 round(unrestricted.stats.seconds, 3),
+                 "TL" if unrestricted.stats.timed_out else ""],
+            )
+        ],
+    )
+    save_result(results_dir, "ablation_optimality", table)
+    print(table)
+
+
+def test_restricted_variant_is_duplicate_free(ablation_rows):
+    for name, optimal, _ in ablation_rows:
+        assert optimal.histories.duplicates == 0, name
+
+
+def test_unrestricted_variant_pays_for_it(ablation_rows):
+    """Across the suite, disabling the restriction re-explores histories."""
+    total_duplicates = sum(u.histories.duplicates for _, _, u in ablation_rows)
+    total_extra_calls = sum(
+        u.stats.explore_calls - o.stats.explore_calls for _, o, u in ablation_rows
+    )
+    assert total_duplicates > 0
+    assert total_extra_calls >= 0
+
+
+def test_both_variants_find_the_same_histories(ablation_rows):
+    for name, optimal, unrestricted in ablation_rows:
+        if optimal.stats.timed_out or unrestricted.stats.timed_out:
+            continue
+        assert set(optimal.histories.keys()) == set(unrestricted.histories.keys()), name

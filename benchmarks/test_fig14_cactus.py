@@ -1,0 +1,122 @@
+"""Figure 14 — cactus plots comparing the seven algorithm configurations.
+
+Paper: 25 client programs (5 per application, 3 sessions × 3 transactions),
+algorithms CC, CC+SI, CC+SER, RA+CC, RC+CC, true+CC and DFS(CC), reporting
+(a) running time, (b) memory consumption and (c) number of end states.
+
+Shape claims asserted here (the paper's findings, §7.3):
+
+* CC / CC+SI / CC+SER are nearly identical — the SI/SER filter overhead is
+  negligible and their end-state counts coincide exactly;
+* explore-ce(CC) beats every plain-optimal explore-ce*(I0, CC): end states
+  grow monotonically as I0 weakens (CC ≤ RA ≤ RC ≤ true);
+* DFS(CC) is dominated: it visits at least as many end states as any DPOR
+  configuration and times out first as programs grow;
+* memory stays flat across all DPOR configurations (polynomial space).
+"""
+
+import statistics
+
+import pytest
+
+from conftest import PROGRAMS_PER_APP, SESSIONS, TIMEOUT, TXNS, save_result
+from repro.bench import fig14, render_fig14, render_records_table
+
+
+@pytest.fixture(scope="module")
+def fig14_result():
+    return fig14(
+        sessions=SESSIONS,
+        txns_per_session=TXNS,
+        programs_per_app=PROGRAMS_PER_APP,
+        timeout=TIMEOUT,
+    )
+
+
+def test_fig14(benchmark, fig14_result, results_dir):
+    """Artifact dump + a representative timed run (explore-ce(CC) on the
+    first suite program); the full grid is computed once in the fixture."""
+    from repro.apps import application_suite
+    from repro.dpor import explore_ce
+
+    program = application_suite(SESSIONS, TXNS, 1)[0]
+    benchmark.pedantic(
+        lambda: explore_ce(program, "CC", collect_histories=False, timeout=TIMEOUT),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_fig14(fig14_result) + "\n\n" + render_records_table(fig14_result.records)
+    save_result(results_dir, "fig14", text)
+    print(text)
+
+
+def test_fig14a_time_ordering(fig14_result):
+    """Fig. 14(a): total solved time ordering CC ≤ … ≤ DFS (up to noise).
+
+    Cactus plots compare curves; we assert on the robust summary — total
+    time over commonly-solved instances plus timeout counts.
+    """
+    records = fig14_result.records
+    solved_everywhere = [
+        p
+        for p in records["CC"]
+        if all(not records[a][p].timed_out for a in records)
+    ]
+    assert solved_everywhere, "some instances must be solved by all algorithms"
+
+    def total(algorithm):
+        return sum(records[algorithm][p].seconds for p in solved_everywhere)
+
+    assert total("CC") <= total("true+CC") * 1.5, "strong optimality helps"
+    assert total("CC") <= total("DFS(CC)"), "DPOR beats no-reduction DFS"
+    timeouts = fig14_result.time.timeouts
+    assert timeouts["CC"] <= timeouts["true+CC"] <= timeouts["DFS(CC)"] + 1
+
+
+def test_fig14b_memory_flat(fig14_result):
+    """Fig. 14(b): all configurations sit in the same memory regime.
+
+    The paper reports ~500MB across all algorithms (JPF baseline dominates);
+    for us the Python-heap peaks of the DPOR variants must stay within a
+    small constant factor of each other.
+    """
+    medians = {
+        algorithm: statistics.median(series)
+        for algorithm, series in fig14_result.memory.series.items()
+        if series
+    }
+    dpor = [v for a, v in medians.items() if a != "DFS(CC)"]
+    assert max(dpor) <= 10 * min(dpor), medians
+
+
+def test_fig14c_end_states(fig14_result):
+    """Fig. 14(c): end-state counts order as CC = CC+SI = CC+SER ≤ RA+CC ≤
+    RC+CC ≤ true+CC ≤ DFS(CC), per program."""
+    records = fig14_result.records
+    for program in records["CC"]:
+        rows = {a: records[a][program] for a in records}
+        if any(r.timed_out for r in rows.values()):
+            continue
+        cc = rows["CC"].end_states
+        assert rows["CC+SI"].end_states == cc
+        assert rows["CC+SER"].end_states == cc
+        assert cc <= rows["RA+CC"].end_states <= rows["RC+CC"].end_states
+        assert rows["RC+CC"].end_states <= rows["true+CC"].end_states
+        assert rows["true+CC"].end_states <= rows["DFS(CC)"].end_states
+
+
+def test_fig14_optimality_cross_checks(fig14_result):
+    """All DPOR variants output the same number of distinct CC histories,
+    and none of them ever blocks (strong optimality of the CE base)."""
+    records = fig14_result.records
+    for program in records["CC"]:
+        rows = {a: records[a][program] for a in records}
+        if any(r.timed_out for r in rows.values()):
+            continue
+        cc_histories = rows["CC"].histories
+        for algorithm in ("RA+CC", "RC+CC", "true+CC"):
+            assert rows[algorithm].histories == cc_histories, (program, algorithm)
+        assert rows["DFS(CC)"].histories == cc_histories, program
+        for algorithm in records:
+            if algorithm != "DFS(CC)":
+                assert rows[algorithm].blocked == 0

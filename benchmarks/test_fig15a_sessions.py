@@ -1,0 +1,63 @@
+"""Figure 15(a) — scalability of explore-ce(CC) in the number of sessions.
+
+Paper: TPC-C and Wikipedia client programs with i ∈ [1, 5] sessions of 3
+transactions each; running time grows steeply with the number of sessions
+(the history count explodes) while memory consumption stays nearly flat
+(the polynomial-space bound of Theorem 5.1).
+"""
+
+import pytest
+
+from conftest import MAX_SESSIONS, SCALING_PROGRAMS, TIMEOUT, TXNS, save_result
+from repro.bench import fig15_sessions, render_scaling
+
+
+@pytest.fixture(scope="module")
+def points():
+    return fig15_sessions(
+        max_sessions=MAX_SESSIONS,
+        txns_per_session=TXNS,
+        programs_per_app=SCALING_PROGRAMS,
+        timeout=TIMEOUT,
+    )
+
+
+def test_fig15a(benchmark, points, results_dir):
+    from repro.apps import client_program
+    from repro.dpor import explore_ce
+
+    program = client_program("tpcc", MAX_SESSIONS, TXNS, 0)
+    benchmark.pedantic(
+        lambda: explore_ce(program, "CC", collect_histories=False, timeout=TIMEOUT),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_scaling(points, axis="sessions")
+    save_result(results_dir, "fig15a_sessions", text)
+    print(text)
+
+
+def test_work_grows_with_sessions(points):
+    """The history count is monotone in the session count (more
+    interleavings to cover) and grows super-linearly by the top end."""
+    histories = [p.avg_histories for p in points]
+    assert all(a <= b for a, b in zip(histories, histories[1:])), histories
+    assert histories[-1] >= 2 * histories[0]
+
+
+def test_time_grows_with_sessions(points):
+    seconds = [p.avg_seconds for p in points]
+    assert seconds[-1] >= seconds[0]
+
+
+def test_memory_grows_slower_than_work(points):
+    """Fig. 15(a)'s second axis: memory does not follow the running-time
+    trend — the growth factor of the heap peak must stay well below the
+    growth factor of the explored end states."""
+    first, last = points[0], points[-1]
+    work_growth = max(last.avg_histories, 1) / max(first.avg_histories, 1)
+    memory_growth = last.avg_peak_heap_kb / max(first.avg_peak_heap_kb, 1e-9)
+    assert memory_growth <= work_growth or memory_growth < 8, (
+        memory_growth,
+        work_growth,
+    )

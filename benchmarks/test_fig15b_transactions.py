@@ -1,0 +1,54 @@
+"""Figure 15(b) — scalability of explore-ce(CC) in transactions per session.
+
+Paper: TPC-C and Wikipedia client programs with 3 sessions and i ∈ [1, 5]
+transactions per session; same story as Fig. 15(a) — running time and
+history counts climb fast, memory stays flat.
+"""
+
+import pytest
+
+from conftest import MAX_TXNS, SCALING_PROGRAMS, SESSIONS, TIMEOUT, save_result
+from repro.bench import fig15_transactions, render_scaling
+
+
+@pytest.fixture(scope="module")
+def points():
+    return fig15_transactions(
+        max_txns=MAX_TXNS,
+        sessions=min(SESSIONS, 3),
+        programs_per_app=SCALING_PROGRAMS,
+        timeout=TIMEOUT,
+    )
+
+
+def test_fig15b(benchmark, points, results_dir):
+    from repro.apps import client_program
+    from repro.dpor import explore_ce
+
+    program = client_program("wikipedia", min(SESSIONS, 3), MAX_TXNS, 0)
+    benchmark.pedantic(
+        lambda: explore_ce(program, "CC", collect_histories=False, timeout=TIMEOUT),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_scaling(points, axis="txns/session")
+    save_result(results_dir, "fig15b_transactions", text)
+    print(text)
+
+
+def test_work_grows_with_transactions(points):
+    """Endpoint growth only: unlike the session sweep, adding a transaction
+    re-rolls the seeded mix, so intermediate sizes may dip."""
+    histories = [p.avg_histories for p in points]
+    assert histories[-1] == max(histories), histories
+    assert histories[-1] >= 2 * histories[0]
+
+
+def test_memory_stays_flat_relative_to_work(points):
+    first, last = points[0], points[-1]
+    work_growth = max(last.avg_histories, 1) / max(first.avg_histories, 1)
+    memory_growth = last.avg_peak_heap_kb / max(first.avg_peak_heap_kb, 1e-9)
+    assert memory_growth <= work_growth or memory_growth < 8, (
+        memory_growth,
+        work_growth,
+    )

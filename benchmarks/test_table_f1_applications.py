@@ -1,0 +1,67 @@
+"""Table F.1 — per-program application rows for every algorithm.
+
+Paper Appendix F.1: for each of the 25 client programs and each algorithm
+configuration, the number of histories, end states, running time and
+memory.  We regenerate the table (at the configured scale) and assert the
+per-row relations the paper's numbers exhibit, e.g. courseware-1 having 216
+end states under CC but only 81 output histories under CC+SI.
+"""
+
+import pytest
+
+from conftest import PROGRAMS_PER_APP, SESSIONS, TIMEOUT, TXNS, save_result
+from repro.bench import render_records_table, table_f1
+
+
+@pytest.fixture(scope="module")
+def records():
+    return table_f1(
+        sessions=SESSIONS,
+        txns_per_session=TXNS,
+        programs_per_app=PROGRAMS_PER_APP,
+        timeout=TIMEOUT,
+    )
+
+
+def test_table_f1(benchmark, records, results_dir):
+    from repro.apps import client_program
+    from repro.dpor import explore_ce_star
+
+    program = client_program("courseware", SESSIONS, TXNS, 0)
+    benchmark.pedantic(
+        lambda: explore_ce_star(
+            program, "CC", "SER", collect_histories=False, timeout=TIMEOUT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_records_table(records)
+    save_result(results_dir, "table_f1_applications", text)
+    print(text)
+
+
+def test_every_application_contributes_rows(records):
+    programs = set(records["CC"])
+    for app in ("courseware", "shoppingCart", "tpcc", "twitter", "wikipedia"):
+        assert sum(1 for p in programs if p.startswith(app)) == PROGRAMS_PER_APP
+
+
+def test_histories_vs_end_states_per_row(records):
+    """For the filtering algorithms, histories ≤ end states with equality
+    exactly when nothing is filtered; for CC they are equal by definition."""
+    for program, record in records["CC"].items():
+        if not record.timed_out:
+            assert record.histories == record.end_states
+    for algorithm in ("CC+SI", "CC+SER", "RA+CC", "RC+CC", "true+CC"):
+        for record in records[algorithm].values():
+            if not record.timed_out:
+                assert record.histories <= record.end_states
+
+
+def test_si_filter_weaker_than_ser_filter(records):
+    """Per row: CC+SER outputs ⊆ CC+SI outputs (SER is stronger than SI)."""
+    for program in records["CC+SI"]:
+        si = records["CC+SI"][program]
+        ser = records["CC+SER"][program]
+        if not (si.timed_out or ser.timed_out):
+            assert ser.histories <= si.histories, program

@@ -1,0 +1,59 @@
+"""Table F.2 — per-program session-scalability rows (explore-ce(CC)).
+
+Paper Appendix F.2: TPC-C and Wikipedia client programs at 1..5 sessions,
+reporting histories, time and memory per program.
+"""
+
+import pytest
+
+from conftest import MAX_SESSIONS, SCALING_PROGRAMS, TIMEOUT, TXNS, save_result
+from repro.bench import render_records_table, table_f2
+
+
+@pytest.fixture(scope="module")
+def records_by_size():
+    return table_f2(
+        max_sessions=MAX_SESSIONS,
+        txns_per_session=TXNS,
+        programs_per_app=SCALING_PROGRAMS,
+        timeout=TIMEOUT,
+    )
+
+
+def test_table_f2(benchmark, records_by_size, results_dir):
+    from repro.apps import client_program
+    from repro.dpor import explore_ce
+
+    program = client_program("tpcc", MAX_SESSIONS, TXNS, 1)
+    benchmark.pedantic(
+        lambda: explore_ce(program, "CC", collect_histories=False, timeout=TIMEOUT),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    for size, records in records_by_size.items():
+        sections.append(f"== {size} session(s)")
+        sections.append(render_records_table({"CC": records}))
+    text = "\n".join(sections)
+    save_result(results_dir, "table_f2_sessions", text)
+    print(text)
+
+
+def test_rows_exist_for_each_size(records_by_size):
+    assert sorted(records_by_size) == list(range(1, MAX_SESSIONS + 1))
+    for records in records_by_size.values():
+        assert len(records) == 2 * SCALING_PROGRAMS  # tpcc + wikipedia
+
+
+def test_single_session_programs_have_one_history(records_by_size):
+    """With one session there is no concurrency: exactly one history."""
+    for record in records_by_size[1].values():
+        assert record.histories == 1, record.program
+
+
+def test_total_work_monotone_in_sessions(records_by_size):
+    totals = [
+        sum(r.histories for r in records.values())
+        for _, records in sorted(records_by_size.items())
+    ]
+    assert all(a <= b for a, b in zip(totals, totals[1:])), totals

@@ -1,0 +1,59 @@
+"""Table F.3 — per-program transaction-scalability rows (explore-ce(CC)).
+
+Paper Appendix F.3: TPC-C and Wikipedia client programs at 1..5
+transactions per session, fixed sessions.
+"""
+
+import pytest
+
+from conftest import MAX_TXNS, SCALING_PROGRAMS, SESSIONS, TIMEOUT, save_result
+from repro.bench import render_records_table, table_f3
+
+
+@pytest.fixture(scope="module")
+def records_by_size():
+    return table_f3(
+        max_txns=MAX_TXNS,
+        sessions=min(SESSIONS, 3),
+        programs_per_app=SCALING_PROGRAMS,
+        timeout=TIMEOUT,
+    )
+
+
+def test_table_f3(benchmark, records_by_size, results_dir):
+    from repro.apps import client_program
+    from repro.dpor import explore_ce
+
+    program = client_program("wikipedia", min(SESSIONS, 3), MAX_TXNS, 1)
+    benchmark.pedantic(
+        lambda: explore_ce(program, "CC", collect_histories=False, timeout=TIMEOUT),
+        rounds=1,
+        iterations=1,
+    )
+    sections = []
+    for size, records in records_by_size.items():
+        sections.append(f"== {size} transaction(s) per session")
+        sections.append(render_records_table({"CC": records}))
+    text = "\n".join(sections)
+    save_result(results_dir, "table_f3_transactions", text)
+    print(text)
+
+
+def test_rows_exist_for_each_size(records_by_size):
+    assert sorted(records_by_size) == list(range(1, MAX_TXNS + 1))
+
+
+def test_total_work_grows_with_transactions(records_by_size):
+    """Endpoint growth: the seeded mix is re-rolled per size, so only the
+    largest size is required to dominate."""
+    totals = [
+        sum(r.histories for r in records.values())
+        for _, records in sorted(records_by_size.items())
+    ]
+    assert totals[-1] == max(totals), totals
+    assert totals[-1] >= totals[0]
+
+
+def test_no_timeouts_at_small_sizes(records_by_size):
+    for record in records_by_size[1].values():
+        assert not record.timed_out

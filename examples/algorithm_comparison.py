@@ -1,0 +1,46 @@
+"""Compare the paper's algorithms on one TPC-C client program.
+
+Reproduces one row of the evaluation: the strongly optimal explore-ce(CC)
+against the plain-optimal explore-ce*(I0, CC) variants and the no-reduction
+DFS baseline, reporting end states, explore calls and wall time — the same
+ordering the cactus plots of Fig. 14 show.
+
+Run:  python examples/algorithm_comparison.py
+"""
+
+from repro.apps import client_program
+from repro.bench import ALGORITHMS, format_table
+
+
+def main():
+    program = client_program("tpcc", sessions=3, txns_per_session=2, seed=1)
+    print(f"program: {program!r}\n")
+    rows = []
+    for name, algorithm in ALGORITHMS.items():
+        record = algorithm(program, 120.0)
+        rows.append(
+            [
+                name,
+                record.histories,
+                record.end_states,
+                record.explore_calls,
+                round(record.seconds, 3),
+                "yes" if record.timed_out else "",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "histories", "end states", "explore calls", "time (s)", "timeout"],
+            rows,
+        )
+    )
+    print(
+        "\nreading the table: every DPOR variant outputs the same CC histories;"
+        "\nweaker exploration levels (RA/RC/true) walk more end states to find"
+        "\nthem, and DFS(CC) — no partial order reduction — re-explores the"
+        "\nsame histories over and over."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Bank transfer + auditor: where does Read Committed lose money?
+
+A transfer moves 10 from account x to account y; an auditor reads both
+accounts and computes the total.  Under Read Committed the auditor may see
+the withdrawal but not the deposit (its first read observes the transfer,
+its second read misses it), so the audited total dips by 10.  Read Atomic —
+whose whole point is that transactions are observed atomically — already
+repairs this, as do all stronger levels.
+
+Run:  python examples/banking_audit.py
+"""
+
+from repro import L, ModelChecker, ProgramBuilder, assertion
+
+INITIAL = 100
+
+
+def build_program():
+    p = ProgramBuilder(
+        "bank-audit",
+        initial_values={"acct_x": INITIAL, "acct_y": INITIAL},
+    )
+    transfer = p.session("teller").transaction("transfer")
+    transfer.read("bx", "acct_x")
+    transfer.write("acct_x", L("bx") - 10)
+    transfer.read("by", "acct_y")
+    transfer.write("acct_y", L("by") + 10)
+
+    audit = p.session("auditor").transaction("audit")
+    audit.read("ax", "acct_x")
+    audit.read("ay", "acct_y")
+    audit.assign("total", L("ax") + L("ay"))
+    return p.build()
+
+
+@assertion("audited total is conserved")
+def total_conserved(outcome):
+    return outcome.value("auditor", "total") == 2 * INITIAL
+
+
+def main():
+    program = build_program()
+    for isolation in ("RC", "RA", "CC", "SI", "SER"):
+        result = ModelChecker(program, isolation=isolation).run(
+            assertions=[total_conserved], keep_outcomes=True
+        )
+        totals = sorted({o.value("auditor", "total") for o in result.outcomes})
+        print(f"{result.summary()}   audited totals seen: {totals}")
+        if not result.ok:
+            print("  counterexample:")
+            for line in result.violations[0].outcome.describe().splitlines():
+                print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Standalone consistency checking of a recorded history.
+
+Besides model checking programs, the library can answer the Biswas–Enea
+question directly: *given a history observed from a real database (who read
+from whom), which isolation levels does it satisfy?*
+
+We rebuild Fig. 3 of the paper — a causality violation that Read Atomic
+tolerates — and ask every checker, including the brute-force axiomatic
+reference.
+
+Run:  python examples/check_recorded_history.py
+"""
+
+from repro import HistoryBuilder, format_history, get_level, satisfies_reference
+
+
+def fig3_history():
+    b = HistoryBuilder(["x", "y"])
+    t1 = b.txn("session1")
+    t1.write("x", 1)
+    t1.commit()
+    t2 = b.txn("session2")
+    t2.read("x", source=t1)
+    t2.write("x", 2)
+    t2.commit()
+    t4 = b.txn("session4")
+    t4.read("x", source=t2)
+    t4.write("y", 1)
+    t4.commit()
+    t3 = b.txn("session3")
+    t3.read("x", source=t1)  # stale: t2 is causally before t3 via t4
+    t3.read("y", source=t4)
+    t3.commit()
+    return b.build()
+
+
+def main():
+    history = fig3_history()
+    print("recorded history (paper Fig. 3):\n")
+    print(format_history(history, indent="  "))
+    print()
+    for name in ("RC", "RA", "CC", "SI", "SER"):
+        fast = get_level(name).satisfies(history)
+        reference = satisfies_reference(history, name)
+        assert fast == reference, "efficient checker must agree with the axioms"
+        verdict = "consistent" if fast else "VIOLATION"
+        print(f"  {name:4s}: {verdict}")
+    print(
+        "\nsession3 reads x written by session1 although session2's newer "
+        "write is in its causal past\n(via session4's y) — visible from CC "
+        "upward, invisible to RC/RA."
+    )
+
+
+if __name__ == "__main__":
+    main()

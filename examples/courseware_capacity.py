@@ -1,0 +1,41 @@
+"""Courseware write skew: course capacity can be exceeded below SER.
+
+The courseware application (Nair et al. 2020, one of the paper's benchmark
+apps) enrolls a student only if the course is open and under capacity.  Two
+concurrent enrollments each read the other's enrollment flag as 0, both
+pass the capacity check, and both commit — a *write skew*: their write sets
+are disjoint, so even Snapshot Isolation admits it.  Only Serializability
+rules it out.
+
+Run:  python examples/courseware_capacity.py
+"""
+
+from repro import ModelChecker
+from repro.apps import courseware
+
+
+def main():
+    program = courseware.capacity_violation_program(capacity=1)
+    check = courseware.capacity_assertion("auditor", capacity=1)
+
+    print("scenario: admin opens course c0 (capacity 1); alice and bob enroll")
+    print("          concurrently; an auditor counts enrollments.\n")
+
+    for isolation in ("RC", "RA", "CC", "SI", "SER"):
+        result = ModelChecker(program, isolation=isolation).run(assertions=[check])
+        print(result.summary())
+        if not result.ok:
+            witness = result.violations[0].outcome
+            count = witness.value("auditor", "count")
+            print(f"  -> auditor counted {count} enrollments in a course of capacity 1")
+
+    print(
+        "\nNote the SI line: the two enrollments write different variables "
+        "(per-student flags),\nso first-committer-wins never fires — the "
+        "anomaly survives Snapshot Isolation.\nThis is why 'check under the "
+        "database's actual isolation level' matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

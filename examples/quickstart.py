@@ -1,0 +1,50 @@
+"""Quickstart: find a lost update, then prove it away.
+
+Two clients concurrently increment a counter:
+
+    begin; a := read(counter); write(counter, a + 1); commit
+
+Under Causal Consistency both can read 0 and one increment is lost; under
+Snapshot Isolation or Serializability the model checker proves the bug
+cannot happen for this (bounded) program.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import L, ModelChecker, ProgramBuilder, assertion
+
+
+def build_program():
+    p = ProgramBuilder("lost-update")
+    for who in ("alice", "bob"):
+        t = p.session(who).transaction("increment")
+        t.read("a", "counter")
+        t.write("counter", L("a") + 1)
+    return p.build()
+
+
+@assertion("someone observed the other's increment")
+def no_lost_update(outcome):
+    return outcome.value("alice", "a") == 1 or outcome.value("bob", "a") == 1
+
+
+def main():
+    program = build_program()
+    print(f"program: {program!r}\n")
+
+    for isolation in ("CC", "SI", "SER"):
+        result = ModelChecker(program, isolation=isolation).run(assertions=[no_lost_update])
+        print(result.summary())
+        for violation in result.violations[:1]:
+            print("  counterexample history:")
+            for line in violation.outcome.describe().splitlines():
+                print("   ", line)
+    print(
+        "\nBecause the exploration is sound and complete (Theorem 5.1 / "
+        "Corollary 6.2 of the paper),\nthe PASS verdicts are proofs for this "
+        "bounded program, not mere test outcomes."
+    )
+
+
+if __name__ == "__main__":
+    main()

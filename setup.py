@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` (legacy editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""repro — stateless model checking of database-backed applications under
+weak transaction isolation levels, with optimal dynamic partial order
+reduction.
+
+Reproduction of Bouajjani, Enea & Román-Calvo, *Dynamic Partial Order
+Reduction for Checking Correctness against Transaction Isolation Levels*,
+PLDI 2023 (PACM PL 7(PLDI):129).
+
+Quickstart::
+
+    from repro import ProgramBuilder, ModelChecker, L
+
+    p = ProgramBuilder("lost-update")
+    for who in ("alice", "bob"):
+        t = p.session(who).transaction("incr")
+        t.read("a", "counter")
+        t.write("counter", L("a") + 1)
+
+    result = ModelChecker(p.build(), isolation="CC").run()
+    print(result.summary())
+"""
+
+from .checking import (
+    Assertion,
+    CheckResult,
+    ModelChecker,
+    Outcome,
+    Violation,
+    assertion,
+    check_program,
+    local_equals,
+    local_in,
+)
+from .core import History, HistoryBuilder, HistorySet, format_history
+from .dpor import ExplorationResult, ExplorationStats, dfs_baseline, explore_ce, explore_ce_star
+from .isolation import IsolationLevel, get_level, registered_levels, satisfies_reference
+from .lang import (
+    L,
+    Program,
+    ProgramBuilder,
+    Transaction,
+    abort,
+    assign,
+    concat,
+    contains,
+    fn,
+    if_,
+    read,
+    set_add,
+    set_remove,
+    write,
+)
+from .semantics import enumerate_histories
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assertion",
+    "CheckResult",
+    "ModelChecker",
+    "Outcome",
+    "Violation",
+    "assertion",
+    "check_program",
+    "local_equals",
+    "local_in",
+    "History",
+    "HistoryBuilder",
+    "HistorySet",
+    "format_history",
+    "ExplorationResult",
+    "ExplorationStats",
+    "dfs_baseline",
+    "explore_ce",
+    "explore_ce_star",
+    "IsolationLevel",
+    "get_level",
+    "registered_levels",
+    "satisfies_reference",
+    "L",
+    "Program",
+    "ProgramBuilder",
+    "Transaction",
+    "abort",
+    "assign",
+    "concat",
+    "contains",
+    "fn",
+    "if_",
+    "read",
+    "set_add",
+    "set_remove",
+    "write",
+    "enumerate_histories",
+    "__version__",
+]
+
+from .lang import ParseError, parse_program, parse_transaction
+
+__all__ += ["ParseError", "parse_program", "parse_transaction"]
+
+from .checking import LevelComparison, compare_levels
+from .core import history_to_dot
+
+__all__ += ["LevelComparison", "compare_levels", "history_to_dot"]

@@ -1,0 +1,27 @@
+"""Benchmark applications from the paper's evaluation (§7.2)."""
+
+from . import courseware, shopping_cart, tpcc, twitter, wikipedia
+from .tables import Table
+from .workloads import (
+    APPLICATIONS,
+    SCALABILITY_APPS,
+    application_suite,
+    client_program,
+    session_scaling_suite,
+    transaction_scaling_suite,
+)
+
+__all__ = [
+    "courseware",
+    "shopping_cart",
+    "tpcc",
+    "twitter",
+    "wikipedia",
+    "Table",
+    "APPLICATIONS",
+    "SCALABILITY_APPS",
+    "application_suite",
+    "client_program",
+    "session_scaling_suite",
+    "transaction_scaling_suite",
+]

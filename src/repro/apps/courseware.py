@@ -1,0 +1,219 @@
+"""Courseware application [Nair et al. 2020] (paper §7.2).
+
+Manages enrollment of students in courses: open, close and delete courses,
+enroll students, and list enrollments.  A student may enroll only while the
+course is open and below its capacity.
+
+Modelling: a per-(course, student) enrollment flag ``enr_c_s`` ∈ {0, 1},
+a per-course ``status_c`` ∈ {CLOSED, OPEN, DELETED}, and a ``registered``
+student set.  The capacity check reads all enrollment flags and counts —
+this is the classic *write-skew* shape: two concurrent enrollments read
+each other's flag as 0, both pass the check, and both write their own
+(distinct) flag, overfilling the course.  Serializability forbids it;
+CC *and* Snapshot Isolation allow it (disjoint write sets).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..checking.assertions import Assertion
+from ..lang.ast import abort, assign, if_, read, write
+from ..lang.expr import L, fn, set_add, set_remove
+from ..lang.program import Program, Transaction
+
+CLOSED, OPEN, DELETED = 0, 1, 2
+
+STUDENTS: Sequence[str] = ("s0", "s1")
+COURSES: Sequence[str] = ("c0",)
+CAPACITY = 1
+
+REGISTERED = "registered"
+
+
+def status_var(course: str) -> str:
+    return f"status_{course}"
+
+
+def enrollment_var(course: str, student: str) -> str:
+    return f"enr_{course}_{student}"
+
+
+def variables(students: Sequence[str] = STUDENTS, courses: Sequence[str] = COURSES) -> List[str]:
+    out = [REGISTERED]
+    for course in courses:
+        out.append(status_var(course))
+        out += [enrollment_var(course, s) for s in students]
+    return out
+
+
+def initial_values(students: Sequence[str] = STUDENTS, courses: Sequence[str] = COURSES):
+    values = {REGISTERED: frozenset()}
+    for course in courses:
+        values[status_var(course)] = CLOSED
+    return values
+
+
+def _count_enrollments(course: str, students: Sequence[str], target: str):
+    """Instructions reading every enrollment flag and summing into ``target``."""
+    instrs = [read(f"e_{s}", enrollment_var(course, s)) for s in students]
+    total = fn("sum", lambda *flags: sum(flags), *(L(f"e_{s}") for s in students))
+    instrs.append(assign(target, total))
+    return instrs
+
+
+def register_student(student: str) -> Transaction:
+    """Add a student to the registry."""
+    return Transaction(
+        f"register({student})",
+        (
+            read("reg", REGISTERED),
+            write(REGISTERED, set_add(L("reg"), student)),
+        ),
+    )
+
+
+def open_course(course: str) -> Transaction:
+    return Transaction(f"open({course})", (write(status_var(course), OPEN),))
+
+
+def close_course(course: str) -> Transaction:
+    return Transaction(f"close({course})", (write(status_var(course), CLOSED),))
+
+
+def delete_course(course: str, students: Sequence[str] = STUDENTS) -> Transaction:
+    """Delete a course, only allowed when nobody is enrolled."""
+    body = list(_count_enrollments(course, students, "count"))
+    body.append(if_(L("count") > 0, then=(abort(),)))
+    body.append(write(status_var(course), DELETED))
+    return Transaction(f"delete({course})", tuple(body))
+
+
+def enroll(
+    student: str,
+    course: str,
+    capacity: int = CAPACITY,
+    students: Sequence[str] = STUDENTS,
+) -> Transaction:
+    """Enroll if the course is open and has spare capacity.
+
+    The check-then-write is exactly the application logic whose correctness
+    depends on the isolation level.
+    """
+    body = [
+        read("st", status_var(course)),
+        if_(L("st") != OPEN, then=(abort(),)),
+    ]
+    body += _count_enrollments(course, students, "count")
+    body.append(if_(L("count") >= capacity, then=(abort(),)))
+    body.append(write(enrollment_var(course, student), 1))
+    return Transaction(f"enroll({student},{course})", tuple(body))
+
+
+def unenroll(student: str, course: str) -> Transaction:
+    return Transaction(
+        f"unenroll({student},{course})",
+        (write(enrollment_var(course, student), 0),),
+    )
+
+
+def get_enrollments(course: str, students: Sequence[str] = STUDENTS) -> Transaction:
+    body = [read("st", status_var(course))]
+    body += _count_enrollments(course, students, "count")
+    return Transaction(f"get_enrollments({course})", tuple(body))
+
+
+def audit(course: str, students: Sequence[str] = STUDENTS) -> Transaction:
+    """Observer transaction recording the final course state for assertions."""
+    return Transaction(f"audit({course})", get_enrollments(course, students).body)
+
+
+def capacity_assertion(audit_session: str, capacity: int = CAPACITY, txn_index: int = 0) -> Assertion:
+    """The course never exceeds its capacity, as seen by the audit transaction."""
+    return Assertion(
+        f"enrollment count ≤ {capacity}",
+        lambda outcome: (outcome.value(audit_session, "count", txn_index) or 0) <= capacity,
+    )
+
+
+def deleted_course_empty_assertion(audit_session: str, txn_index: int = 0) -> Assertion:
+    """A deleted course has no enrollments, as seen by the audit transaction."""
+    return Assertion(
+        "deleted course has no enrollments",
+        lambda outcome: outcome.value(audit_session, "st", txn_index) != DELETED
+        or (outcome.value(audit_session, "count", txn_index) or 0) == 0,
+    )
+
+
+_TEMPLATES = ("register", "open", "close", "delete", "enroll", "unenroll", "get")
+
+
+def random_transaction(
+    rng: random.Random,
+    students: Sequence[str] = STUDENTS,
+    courses: Sequence[str] = COURSES,
+    capacity: int = CAPACITY,
+) -> Transaction:
+    kind = rng.choice(_TEMPLATES)
+    student = rng.choice(list(students))
+    course = rng.choice(list(courses))
+    if kind == "register":
+        return register_student(student)
+    if kind == "open":
+        return open_course(course)
+    if kind == "close":
+        return close_course(course)
+    if kind == "delete":
+        return delete_course(course, students)
+    if kind == "enroll":
+        return enroll(student, course, capacity, students)
+    if kind == "unenroll":
+        return unenroll(student, course)
+    return get_enrollments(course, students)
+
+
+def make_program(
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    seed: int = 0,
+    students: Sequence[str] = STUDENTS,
+    courses: Sequence[str] = COURSES,
+    capacity: int = CAPACITY,
+    name: str = "courseware",
+) -> Program:
+    rng = random.Random(seed)
+    program_sessions = {
+        f"client{s}": [
+            random_transaction(rng, students, courses, capacity) for _ in range(txns_per_session)
+        ]
+        for s in range(sessions)
+    }
+    return Program(
+        program_sessions,
+        name=name,
+        extra_variables=variables(students, courses),
+        initial_values=initial_values(students, courses),
+    )
+
+
+def capacity_violation_program(capacity: int = 1, name: str = "courseware-capacity") -> Program:
+    """The motivating scenario: concurrent enrollments can overfill a course.
+
+    One session opens the course; two student sessions enroll concurrently;
+    an auditor session observes.  Use with :func:`capacity_assertion` on
+    session ``"auditor"``.
+    """
+    students = ("s0", "s1")
+    sessions = {
+        "admin": [open_course("c0")],
+        "alice": [enroll("s0", "c0", capacity, students)],
+        "bob": [enroll("s1", "c0", capacity, students)],
+        "auditor": [audit("c0", students)],
+    }
+    return Program(
+        sessions,
+        name=name,
+        extra_variables=variables(students, ("c0",)),
+        initial_values=initial_values(students, ("c0",)),
+    )

@@ -1,0 +1,135 @@
+"""Shopping Cart application [Sivaramakrishnan et al. 2015] (paper §7.2).
+
+Users add, get and remove items from their shopping cart and modify the
+quantities of items present in the cart.  The cart of user ``u`` is a set
+variable ``cart_u`` of item ids plus one quantity variable per (user, item)
+pair — the SQL-table modelling of §7.2 specialised to a per-user table.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Sequence
+
+from ..lang.ast import abort, assign, if_, read, write
+from ..lang.expr import L, contains, set_add, set_remove
+from ..lang.program import Program, Transaction
+
+#: Default tiny parameter space, keeping client programs tractable.
+USERS: Sequence[str] = ("u0", "u1")
+ITEMS: Sequence[int] = (1, 2)
+
+
+def cart_var(user: str) -> str:
+    return f"cart_{user}"
+
+
+def qty_var(user: str, item: int) -> str:
+    return f"qty_{user}_{item}"
+
+
+def variables(users: Sequence[str] = USERS, items: Sequence[int] = ITEMS) -> List[str]:
+    """All global variables of the application instance."""
+    out = [cart_var(u) for u in users]
+    out += [qty_var(u, i) for u in users for i in items]
+    return out
+
+
+def initial_values(users: Sequence[str] = USERS, items: Sequence[int] = ITEMS):
+    """Carts start empty; quantities start at 0."""
+    return {cart_var(u): frozenset() for u in users}
+
+
+def add_item(user: str, item: int, qty: int = 1) -> Transaction:
+    """Add ``item`` to the cart with the given quantity."""
+    return Transaction(
+        f"add_item({user},{item})",
+        (
+            read("cart", cart_var(user)),
+            write(cart_var(user), set_add(L("cart"), item)),
+            write(qty_var(user, item), qty),
+        ),
+    )
+
+
+def remove_item(user: str, item: int) -> Transaction:
+    """Remove ``item`` from the cart (aborts if absent)."""
+    return Transaction(
+        f"remove_item({user},{item})",
+        (
+            read("cart", cart_var(user)),
+            if_(
+                ~contains(L("cart"), item),
+                then=(abort(),),
+            ),
+            write(cart_var(user), set_remove(L("cart"), item)),
+            write(qty_var(user, item), 0),
+        ),
+    )
+
+
+def change_quantity(user: str, item: int, qty: int) -> Transaction:
+    """Set the quantity of ``item`` if it is present in the cart."""
+    return Transaction(
+        f"change_qty({user},{item},{qty})",
+        (
+            read("cart", cart_var(user)),
+            if_(
+                contains(L("cart"), item),
+                then=(write(qty_var(user, item), qty),),
+            ),
+        ),
+    )
+
+
+def get_cart(user: str, items: Sequence[int] = ITEMS) -> Transaction:
+    """Read the cart and the quantity of every present item."""
+    body = [read("cart", cart_var(user))]
+    for item in items:
+        body.append(
+            if_(
+                contains(L("cart"), item),
+                then=(read(f"q{item}", qty_var(user, item)),),
+            )
+        )
+    return Transaction(f"get_cart({user})", tuple(body))
+
+
+#: Weighted transaction mix used by the workload generator.
+_TEMPLATES = ("add", "remove", "change", "get")
+
+
+def random_transaction(rng: random.Random, users: Sequence[str] = USERS, items: Sequence[int] = ITEMS) -> Transaction:
+    """A pseudo-random transaction from the application's mix."""
+    kind = rng.choice(_TEMPLATES)
+    user = rng.choice(list(users))
+    item = rng.choice(list(items))
+    if kind == "add":
+        return add_item(user, item, rng.randint(1, 3))
+    if kind == "remove":
+        return remove_item(user, item)
+    if kind == "change":
+        return change_quantity(user, item, rng.randint(1, 3))
+    return get_cart(user, items)
+
+
+def make_program(
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    seed: int = 0,
+    users: Sequence[str] = USERS,
+    items: Sequence[int] = ITEMS,
+    name: str = "shoppingCart",
+) -> Program:
+    """A client program: ``sessions`` sessions × ``txns_per_session`` transactions."""
+    rng = random.Random(seed)
+    program_sessions = {
+        f"client{s}": [random_transaction(rng, users, items) for _ in range(txns_per_session)]
+        for s in range(sessions)
+    }
+    return Program(
+        program_sessions,
+        name=name,
+        extra_variables=variables(users, items),
+        initial_values=initial_values(users, items),
+    )

@@ -1,0 +1,143 @@
+"""SQL-table modelling on top of global variables (paper §7.2).
+
+    "SQL tables are modeled using a 'set' global variable whose content is
+    the set of ids (primary keys) of the rows present in the table, and a
+    set of global variables, one variable for each row in the table.
+    INSERT and DELETE are writes on the set variable, while statements with
+    a WHERE clause (SELECT, JOIN, UPDATE) are compiled to a read of the
+    table's set variable followed by reads or writes of the row variables."
+
+A :class:`Table` is declared with a *static key space* (programs are
+bounded, so the candidate primary keys are known up front — this is also
+what makes WHERE-scans compilable to straight-line guarded code).  Row
+values are fixed-arity tuples, one slot per declared column.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+from ..lang.ast import Instr, assign, if_, read, write
+from ..lang.expr import Expr, ExprLike, L, contains, fn, set_add, set_remove, to_expr
+
+
+class Table:
+    """A relational table compiled to a set variable + row variables."""
+
+    def __init__(self, name: str, columns: Sequence[str], key_space: Iterable[Hashable]):
+        self.name = name
+        self.columns = tuple(columns)
+        self.key_space = tuple(key_space)
+        if not self.columns:
+            raise ValueError("a table needs at least one column")
+
+    # -- variable naming ---------------------------------------------------------
+
+    @property
+    def ids_var(self) -> str:
+        """The 'set' variable holding the present primary keys."""
+        return f"{self.name}__ids"
+
+    def row_var(self, key: Hashable) -> str:
+        """The variable storing the row with primary key ``key``."""
+        return f"{self.name}__row_{key}"
+
+    def variables(self) -> List[str]:
+        """Every global variable this table may occupy (for ``init``)."""
+        return [self.ids_var] + [self.row_var(k) for k in self.key_space]
+
+    # -- value helpers ------------------------------------------------------------
+
+    def row(self, **fields: Hashable) -> Tuple[Hashable, ...]:
+        """Build a row tuple from column keyword arguments."""
+        missing = set(fields) - set(self.columns)
+        if missing:
+            raise ValueError(f"unknown columns {sorted(missing)} for table {self.name!r}")
+        return tuple(fields.get(col, 0) for col in self.columns)
+
+    def row_expr(self, **fields: ExprLike) -> Expr:
+        """Build a row tuple *expression* (fields may be expressions)."""
+        missing = set(fields) - set(self.columns)
+        if missing:
+            raise ValueError(f"unknown columns {sorted(missing)} for table {self.name!r}")
+        parts = [to_expr(fields.get(col, 0)) for col in self.columns]
+        return fn(f"{self.name}.row", lambda *vals: tuple(vals), *parts)
+
+    def col(self, row: ExprLike, column: str) -> Expr:
+        """Extract one column from a row(-tuple) expression."""
+        index = self.columns.index(column)
+        return fn(f"{self.name}.{column}", lambda r, i=index: r[i], row)
+
+    def updated(self, row: ExprLike, **fields: ExprLike) -> Expr:
+        """A copy of ``row`` with the given columns replaced (SQL UPDATE SET)."""
+        indexed = {self.columns.index(c): to_expr(v) for c, v in fields.items()}
+
+        def rebuild(r, *vals):
+            out = list(r)
+            for (i, _), v in zip(sorted(indexed.items()), vals):
+                out[i] = v
+            return tuple(out)
+
+        return fn(f"{self.name}.update", rebuild, row, *(v for _, v in sorted(indexed.items())))
+
+    # -- statement compilation ------------------------------------------------------
+
+    def insert(self, key: Hashable, row_value: ExprLike, ids_local: str = "_ids") -> List[Instr]:
+        """``INSERT INTO name VALUES (key, ...)``.
+
+        A read of the id-set followed by writes of the id-set and the row.
+        """
+        return [
+            read(ids_local, self.ids_var),
+            write(self.ids_var, set_add(L(ids_local), key)),
+            write(self.row_var(key), row_value),
+        ]
+
+    def delete(self, key: Hashable, ids_local: str = "_ids") -> List[Instr]:
+        """``DELETE FROM name WHERE pk = key``."""
+        return [
+            read(ids_local, self.ids_var),
+            write(self.ids_var, set_remove(L(ids_local), key)),
+        ]
+
+    def select_by_key(self, key: Hashable, target: str) -> List[Instr]:
+        """``SELECT * WHERE pk = key`` with a known key: direct row read."""
+        return [read(target, self.row_var(key))]
+
+    def select_where(
+        self,
+        ids_local: str,
+        row_prefix: str,
+        guard_extra: Sequence[Instr] = (),
+    ) -> List[Instr]:
+        """``SELECT *`` scan: read the id-set, then each present row.
+
+        Reads the id-set into ``ids_local``; for every key ``k`` of the
+        static key space, if ``k`` is present, reads its row into
+        ``{row_prefix}_{k}`` and runs ``guard_extra`` (for per-row work).
+        """
+        instrs: List[Instr] = [read(ids_local, self.ids_var)]
+        for key in self.key_space:
+            body: List[Instr] = [read(f"{row_prefix}_{key}", self.row_var(key))]
+            body.extend(guard_extra)
+            instrs.append(if_(contains(L(ids_local), key), then=body))
+        return instrs
+
+    def update_by_key(self, key: Hashable, target: str, **fields: ExprLike) -> List[Instr]:
+        """``UPDATE ... SET fields WHERE pk = key``: read row, write back."""
+        return [
+            read(target, self.row_var(key)),
+            write(self.row_var(key), self.updated(L(target), **fields)),
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, cols={self.columns}, keys={self.key_space})"
+
+
+def empty_set() -> frozenset:
+    """The initial value suited for id-set variables.
+
+    Programs using tables should set ``initial_value=frozenset()`` or
+    initialise id-set variables explicitly with a setup transaction.
+    """
+    return frozenset()

@@ -1,0 +1,195 @@
+"""TPC-C application [TPC 2010] (paper §7.2).
+
+An online shopping workload with five transaction types: reading the stock
+of a product, creating a new order, getting its status, paying it and
+delivering it.
+
+Modelling (a bounded micro-TPC-C over the §7.2 table encoding):
+
+* ``stock_i`` — per-item stock counter;
+* ``neworders`` — set variable of undelivered order ids;
+* ``order_o`` — per-order tuple ``(customer, item, paid, delivered)``;
+* ``placed_o`` — whether order slot ``o`` was used;
+* ``balance_c`` / ``ytd`` — customer balance and the district's
+  year-to-date payment total.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..lang.ast import abort, assign, if_, read, write
+from ..lang.expr import L, contains, fn, set_add, set_remove
+from ..lang.program import Program, Transaction
+
+CUSTOMERS: Sequence[str] = ("c0", "c1")
+ITEMS: Sequence[int] = (1, 2)
+ORDERS: Sequence[str] = ("o0", "o1")
+
+YTD = "ytd"
+NEWORDERS = "neworders"
+
+
+def stock_var(item: int) -> str:
+    return f"stock_{item}"
+
+
+def order_var(order: str) -> str:
+    return f"order_{order}"
+
+
+def placed_var(order: str) -> str:
+    return f"placed_{order}"
+
+
+def balance_var(customer: str) -> str:
+    return f"balance_{customer}"
+
+
+def variables(
+    customers: Sequence[str] = CUSTOMERS,
+    items: Sequence[int] = ITEMS,
+    orders: Sequence[str] = ORDERS,
+) -> List[str]:
+    out = [YTD, NEWORDERS]
+    out += [stock_var(i) for i in items]
+    out += [balance_var(c) for c in customers]
+    for order in orders:
+        out += [order_var(order), placed_var(order)]
+    return out
+
+
+def initial_values(
+    customers: Sequence[str] = CUSTOMERS,
+    items: Sequence[int] = ITEMS,
+    orders: Sequence[str] = ORDERS,
+    stock: int = 2,
+):
+    values = {NEWORDERS: frozenset()}
+    for item in items:
+        values[stock_var(item)] = stock
+    for order in orders:
+        values[order_var(order)] = (None, None, 0, 0)
+    return values
+
+
+def _order_row(customer: str, item: int, paid=0, delivered=0) -> Tuple:
+    return (customer, item, paid, delivered)
+
+
+def stock_level(item: int) -> Transaction:
+    """Read an item's remaining stock."""
+    return Transaction(f"stock_level({item})", (read("s", stock_var(item)),))
+
+
+def new_order(customer: str, order: str, item: int) -> Transaction:
+    """Place an order: decrement stock, record the order, enqueue delivery.
+
+    Aborts when the item is out of stock (TPC-C rolls back ~1% of new-order
+    transactions; here rollback is stock-driven).
+    """
+    return Transaction(
+        f"new_order({customer},{order},{item})",
+        (
+            read("s", stock_var(item)),
+            if_(L("s") <= 0, then=(abort(),)),
+            write(stock_var(item), L("s") - 1),
+            write(order_var(order), _order_row(customer, item)),
+            write(placed_var(order), 1),
+            read("no", NEWORDERS),
+            write(NEWORDERS, set_add(L("no"), order)),
+        ),
+    )
+
+
+def order_status(order: str) -> Transaction:
+    """Read an order's row if it was placed."""
+    return Transaction(
+        f"order_status({order})",
+        (
+            read("placed", placed_var(order)),
+            if_(L("placed") == 1, then=(read("row", order_var(order)),)),
+        ),
+    )
+
+
+def payment(customer: str, order: str, amount: int = 1) -> Transaction:
+    """Pay an order: mark it paid, debit the customer, credit the district."""
+    mark_paid = fn("mark_paid", lambda row: (row[0], row[1], 1, row[3]), L("row"))
+    return Transaction(
+        f"payment({customer},{order})",
+        (
+            read("placed", placed_var(order)),
+            if_(L("placed") != 1, then=(abort(),)),
+            read("row", order_var(order)),
+            write(order_var(order), mark_paid),
+            read("bal", balance_var(customer)),
+            write(balance_var(customer), L("bal") - amount),
+            read("y", YTD),
+            write(YTD, L("y") + amount),
+        ),
+    )
+
+
+def delivery(order: str) -> Transaction:
+    """Deliver an order from the new-order queue, marking it delivered."""
+    mark_delivered = fn("mark_delivered", lambda row: (row[0], row[1], row[2], 1), L("row"))
+    return Transaction(
+        f"delivery({order})",
+        (
+            read("no", NEWORDERS),
+            if_(~contains(L("no"), order), then=(abort(),)),
+            write(NEWORDERS, set_remove(L("no"), order)),
+            read("row", order_var(order)),
+            write(order_var(order), mark_delivered),
+        ),
+    )
+
+
+_TEMPLATES = ("stock", "new_order", "status", "payment", "delivery")
+
+
+def random_transaction(
+    rng: random.Random,
+    customers: Sequence[str] = CUSTOMERS,
+    items: Sequence[int] = ITEMS,
+    orders: Sequence[str] = ORDERS,
+) -> Transaction:
+    kind = rng.choice(_TEMPLATES)
+    customer = rng.choice(list(customers))
+    item = rng.choice(list(items))
+    order = rng.choice(list(orders))
+    if kind == "stock":
+        return stock_level(item)
+    if kind == "new_order":
+        return new_order(customer, order, item)
+    if kind == "status":
+        return order_status(order)
+    if kind == "payment":
+        return payment(customer, order)
+    return delivery(order)
+
+
+def make_program(
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    seed: int = 0,
+    customers: Sequence[str] = CUSTOMERS,
+    items: Sequence[int] = ITEMS,
+    orders: Sequence[str] = ORDERS,
+    name: str = "tpcc",
+) -> Program:
+    rng = random.Random(seed)
+    program_sessions = {
+        f"client{s}": [
+            random_transaction(rng, customers, items, orders) for _ in range(txns_per_session)
+        ]
+        for s in range(sessions)
+    }
+    return Program(
+        program_sessions,
+        name=name,
+        extra_variables=variables(customers, items, orders),
+        initial_values=initial_values(customers, items, orders),
+    )

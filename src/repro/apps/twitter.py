@@ -1,0 +1,157 @@
+"""Twitter application [Difallah et al. 2013, OLTP-Bench] (paper §7.2).
+
+Users follow other users, publish tweets, and fetch their followers, their
+own tweets, and the timeline of people they follow.
+
+Modelling: per-user set variables ``followers_u`` / ``following_u``; a
+per-user tweet-count variable ``ntweets_u``; tweet content variables
+``tweet_u_k`` for the k-th tweet of user u (the bounded key space of §7.2's
+table modelling).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..lang.ast import if_, read, write
+from ..lang.expr import L, contains, set_add
+from ..lang.program import Program, Transaction
+
+USERS: Sequence[str] = ("u0", "u1")
+#: Max tweets a user can publish in a bounded client program.
+MAX_TWEETS = 2
+
+
+def followers_var(user: str) -> str:
+    return f"followers_{user}"
+
+
+def following_var(user: str) -> str:
+    return f"following_{user}"
+
+
+def ntweets_var(user: str) -> str:
+    return f"ntweets_{user}"
+
+
+def tweet_var(user: str, index: int) -> str:
+    return f"tweet_{user}_{index}"
+
+
+def variables(users: Sequence[str] = USERS, max_tweets: int = MAX_TWEETS) -> List[str]:
+    out: List[str] = []
+    for user in users:
+        out += [followers_var(user), following_var(user), ntweets_var(user)]
+        out += [tweet_var(user, k) for k in range(max_tweets)]
+    return out
+
+
+def initial_values(users: Sequence[str] = USERS, max_tweets: int = MAX_TWEETS):
+    values = {}
+    for user in users:
+        values[followers_var(user)] = frozenset()
+        values[following_var(user)] = frozenset()
+    return values
+
+
+def follow(follower: str, followee: str) -> Transaction:
+    """``follower`` starts following ``followee`` (two symmetric updates)."""
+    return Transaction(
+        f"follow({follower},{followee})",
+        (
+            read("fg", following_var(follower)),
+            write(following_var(follower), set_add(L("fg"), followee)),
+            read("fr", followers_var(followee)),
+            write(followers_var(followee), set_add(L("fr"), follower)),
+        ),
+    )
+
+
+def publish_tweet(user: str, content: int) -> Transaction:
+    """Publish a tweet: bump the count, store the content.
+
+    The tweet slot is the current count (data-dependent variable name —
+    exercised through a bounded if-cascade).
+    """
+    body = [read("n", ntweets_var(user))]
+    for slot in range(MAX_TWEETS):
+        body.append(
+            if_(
+                L("n") == slot,
+                then=(
+                    write(tweet_var(user, slot), content),
+                    write(ntweets_var(user), slot + 1),
+                ),
+            )
+        )
+    return Transaction(f"tweet({user},{content})", tuple(body))
+
+
+def get_followers(user: str) -> Transaction:
+    """Fetch the follower set."""
+    return Transaction(f"get_followers({user})", (read("fr", followers_var(user)),))
+
+
+def get_tweets(user: str) -> Transaction:
+    """Fetch a user's tweets: count, then each published slot."""
+    body = [read("n", ntweets_var(user))]
+    for slot in range(MAX_TWEETS):
+        body.append(if_(L("n") > slot, then=(read(f"t{slot}", tweet_var(user, slot)),)))
+    return Transaction(f"get_tweets({user})", tuple(body))
+
+
+def get_timeline(user: str, users: Sequence[str] = USERS) -> Transaction:
+    """Fetch the newest tweet of every followed user."""
+    body = [read("fg", following_var(user))]
+    for other in users:
+        if other == user:
+            continue
+        body.append(
+            if_(
+                contains(L("fg"), other),
+                then=(
+                    read(f"n_{other}", ntweets_var(other)),
+                    if_(L(f"n_{other}") > 0, then=(read(f"t_{other}", tweet_var(other, 0)),)),
+                ),
+            )
+        )
+    return Transaction(f"get_timeline({user})", tuple(body))
+
+
+_TEMPLATES = ("follow", "tweet", "followers", "tweets", "timeline")
+
+
+def random_transaction(rng: random.Random, users: Sequence[str] = USERS) -> Transaction:
+    kind = rng.choice(_TEMPLATES)
+    user = rng.choice(list(users))
+    other = rng.choice([u for u in users if u != user] or list(users))
+    if kind == "follow":
+        return follow(user, other)
+    if kind == "tweet":
+        return publish_tweet(user, rng.randint(1, 5))
+    if kind == "followers":
+        return get_followers(user)
+    if kind == "tweets":
+        return get_tweets(user)
+    return get_timeline(user, users)
+
+
+def make_program(
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    seed: int = 0,
+    users: Sequence[str] = USERS,
+    name: str = "twitter",
+) -> Program:
+    rng = random.Random(seed)
+    program_sessions = {
+        f"client{s}": [random_transaction(rng, users) for _ in range(txns_per_session)]
+        for s in range(sessions)
+    }
+    return Program(
+        program_sessions,
+        name=name,
+        extra_variables=variables(users),
+        initial_values=initial_values(users),
+    )

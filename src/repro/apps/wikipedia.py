@@ -1,0 +1,148 @@
+"""Wikipedia application [Difallah et al. 2013, OLTP-Bench] (paper §7.2).
+
+Users fetch page content (anonymously or logged in), add/remove pages to
+their watch list, and update pages.
+
+Modelling: per-page revision counter ``rev_p`` and content variable
+``text_p``; per-user watch list set variable ``watch_u``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..lang.ast import if_, read, write
+from ..lang.expr import L, contains, set_add, set_remove
+from ..lang.program import Program, Transaction
+
+USERS: Sequence[str] = ("u0", "u1")
+PAGES: Sequence[str] = ("p0", "p1")
+
+
+def rev_var(page: str) -> str:
+    return f"rev_{page}"
+
+
+def text_var(page: str) -> str:
+    return f"text_{page}"
+
+
+def watch_var(user: str) -> str:
+    return f"watch_{user}"
+
+
+def variables(users: Sequence[str] = USERS, pages: Sequence[str] = PAGES) -> List[str]:
+    out = [watch_var(u) for u in users]
+    for page in pages:
+        out += [rev_var(page), text_var(page)]
+    return out
+
+
+def initial_values(users: Sequence[str] = USERS, pages: Sequence[str] = PAGES):
+    return {watch_var(u): frozenset() for u in users}
+
+
+def get_page_anonymous(page: str) -> Transaction:
+    """Anonymous fetch: revision + content."""
+    return Transaction(
+        f"get_page_anon({page})",
+        (read("rev", rev_var(page)), read("text", text_var(page))),
+    )
+
+
+def get_page_authenticated(user: str, page: str) -> Transaction:
+    """Logged-in fetch: also consults the user's watch list."""
+    return Transaction(
+        f"get_page_auth({user},{page})",
+        (
+            read("watch", watch_var(user)),
+            read("rev", rev_var(page)),
+            read("text", text_var(page)),
+        ),
+    )
+
+
+def add_watch(user: str, page: str) -> Transaction:
+    return Transaction(
+        f"add_watch({user},{page})",
+        (
+            read("watch", watch_var(user)),
+            write(watch_var(user), set_add(L("watch"), page)),
+        ),
+    )
+
+
+def remove_watch(user: str, page: str) -> Transaction:
+    return Transaction(
+        f"remove_watch({user},{page})",
+        (
+            read("watch", watch_var(user)),
+            write(watch_var(user), set_remove(L("watch"), page)),
+        ),
+    )
+
+
+def update_page(user: str, page: str, content: int) -> Transaction:
+    """Edit a page: bump the revision and replace the content."""
+    return Transaction(
+        f"update_page({user},{page})",
+        (
+            read("rev", rev_var(page)),
+            write(rev_var(page), L("rev") + 1),
+            write(text_var(page), content),
+        ),
+    )
+
+
+def watched_revisions(user: str, pages: Sequence[str] = PAGES) -> Transaction:
+    """Read the revision of every watched page."""
+    body = [read("watch", watch_var(user))]
+    for page in pages:
+        body.append(
+            if_(contains(L("watch"), page), then=(read(f"rev_{page}", rev_var(page)),))
+        )
+    return Transaction(f"watched_revisions({user})", tuple(body))
+
+
+_TEMPLATES = ("anon", "auth", "add_watch", "remove_watch", "update", "watched")
+
+
+def random_transaction(
+    rng: random.Random, users: Sequence[str] = USERS, pages: Sequence[str] = PAGES
+) -> Transaction:
+    kind = rng.choice(_TEMPLATES)
+    user = rng.choice(list(users))
+    page = rng.choice(list(pages))
+    if kind == "anon":
+        return get_page_anonymous(page)
+    if kind == "auth":
+        return get_page_authenticated(user, page)
+    if kind == "add_watch":
+        return add_watch(user, page)
+    if kind == "remove_watch":
+        return remove_watch(user, page)
+    if kind == "update":
+        return update_page(user, page, rng.randint(1, 5))
+    return watched_revisions(user, pages)
+
+
+def make_program(
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    seed: int = 0,
+    users: Sequence[str] = USERS,
+    pages: Sequence[str] = PAGES,
+    name: str = "wikipedia",
+) -> Program:
+    rng = random.Random(seed)
+    program_sessions = {
+        f"client{s}": [random_transaction(rng, users, pages) for _ in range(txns_per_session)]
+        for s in range(sessions)
+    }
+    return Program(
+        program_sessions,
+        name=name,
+        extra_variables=variables(users, pages),
+        initial_values=initial_values(users, pages),
+    )

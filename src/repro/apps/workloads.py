@@ -1,0 +1,89 @@
+"""Client-program (workload) generation for the benchmark suite (§7.2).
+
+The paper evaluates five independent client programs per application, each
+with a configurable number of sessions and transactions per session.  This
+module reproduces that suite with deterministic seeds so benchmark runs are
+repeatable, plus the scalability sweeps of Figs. 15(a)/(b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..lang.program import Program
+from . import courseware, shopping_cart, tpcc, twitter, wikipedia
+
+#: name → make_program(sessions, txns_per_session, seed, name=...)
+APPLICATIONS: Dict[str, Callable[..., Program]] = {
+    "courseware": courseware.make_program,
+    "shoppingCart": shopping_cart.make_program,
+    "tpcc": tpcc.make_program,
+    "twitter": twitter.make_program,
+    "wikipedia": wikipedia.make_program,
+}
+
+#: Applications used by the scalability experiments of Fig. 15.
+SCALABILITY_APPS: Sequence[str] = ("tpcc", "wikipedia")
+
+
+def client_program(app: str, sessions: int, txns_per_session: int, seed: int) -> Program:
+    """One client program of ``app`` with the given shape and seed."""
+    make = APPLICATIONS[app]
+    name = f"{app}-{seed + 1}"
+    return make(sessions=sessions, txns_per_session=txns_per_session, seed=seed, name=name)
+
+
+def application_suite(
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    programs_per_app: int = 5,
+    apps: Sequence[str] = tuple(APPLICATIONS),
+) -> List[Program]:
+    """The Fig. 14 suite: ``programs_per_app`` independent client programs
+    per application (the paper uses 5 per app, 3 sessions × 3 transactions;
+    the defaults here are scaled down for the pure-Python substrate and can
+    be dialed up)."""
+    suite: List[Program] = []
+    for app in apps:
+        for seed in range(programs_per_app):
+            suite.append(client_program(app, sessions, txns_per_session, seed))
+    return suite
+
+
+def session_scaling_suite(
+    max_sessions: int,
+    txns_per_session: int = 2,
+    programs_per_app: int = 2,
+    apps: Sequence[str] = SCALABILITY_APPS,
+) -> Dict[int, List[Program]]:
+    """Fig. 15(a): the same seeds at every session count.
+
+    The paper builds the 5-session programs and removes sessions one by one;
+    generating with a fixed seed at each size has the same effect (smaller
+    programs are prefixes of the transaction choices).
+    """
+    return {
+        n: [
+            client_program(app, n, txns_per_session, seed)
+            for app in apps
+            for seed in range(programs_per_app)
+        ]
+        for n in range(1, max_sessions + 1)
+    }
+
+
+def transaction_scaling_suite(
+    max_txns: int,
+    sessions: int = 2,
+    programs_per_app: int = 2,
+    apps: Sequence[str] = SCALABILITY_APPS,
+) -> Dict[int, List[Program]]:
+    """Fig. 15(b): fixed sessions, growing transactions per session."""
+    return {
+        n: [
+            client_program(app, sessions, n, seed)
+            for app in apps
+            for seed in range(programs_per_app)
+        ]
+        for n in range(1, max_txns + 1)
+    }

@@ -1,0 +1,43 @@
+"""Benchmark harness reproducing every figure and table of the evaluation."""
+
+from .experiments import (
+    FIG14_ALGORITHMS,
+    CactusData,
+    Fig14Result,
+    ScalingPoint,
+    fig14,
+    fig15_sessions,
+    fig15_transactions,
+    table_f1,
+    table_f2,
+    table_f3,
+)
+from .harness import ALGORITHMS, RunRecord, run_suite
+from .reporting import (
+    format_table,
+    render_cactus,
+    render_fig14,
+    render_records_table,
+    render_scaling,
+)
+
+__all__ = [
+    "FIG14_ALGORITHMS",
+    "CactusData",
+    "Fig14Result",
+    "ScalingPoint",
+    "fig14",
+    "fig15_sessions",
+    "fig15_transactions",
+    "table_f1",
+    "table_f2",
+    "table_f3",
+    "ALGORITHMS",
+    "RunRecord",
+    "run_suite",
+    "format_table",
+    "render_cactus",
+    "render_fig14",
+    "render_records_table",
+    "render_scaling",
+]

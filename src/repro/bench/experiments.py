@@ -1,0 +1,175 @@
+"""The experiments of the evaluation section, one function per figure/table.
+
+Each function returns plain data (rows / series) that the ``benchmarks/``
+pytest targets print and assert shape properties over, and that
+``repro.bench.reporting`` renders for EXPERIMENTS.md.
+
+Sizes are parameters.  The paper runs 3 sessions × 3 transactions with a
+30-minute timeout on an Apple M1 (JPF/Java); the defaults here are sized for
+the pure-Python substrate so the full suite completes in minutes, and can be
+dialed up to the paper's sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..apps.workloads import (
+    application_suite,
+    session_scaling_suite,
+    transaction_scaling_suite,
+)
+from .harness import ALGORITHMS, RunRecord, run_suite
+
+#: Fig. 14's algorithm line-up, in the paper's order.
+FIG14_ALGORITHMS: Sequence[str] = (
+    "CC",
+    "CC+SI",
+    "CC+SER",
+    "RA+CC",
+    "RC+CC",
+    "true+CC",
+    "DFS(CC)",
+)
+
+
+@dataclass
+class CactusData:
+    """Cactus-plot data: per algorithm, solved-instance metrics sorted ascending."""
+
+    metric: str
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    timeouts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, algorithm: str, records: Sequence[RunRecord], value) -> None:
+        solved = [r for r in records if not r.timed_out]
+        self.series[algorithm] = sorted(value(r) for r in solved)
+        self.timeouts[algorithm] = sum(1 for r in records if r.timed_out)
+
+
+@dataclass
+class Fig14Result:
+    """All three cactus plots of Fig. 14 plus the raw records."""
+
+    time: CactusData
+    memory: CactusData
+    end_states: CactusData
+    records: Dict[str, Dict[str, RunRecord]]
+
+
+def fig14(
+    sessions: int = 3,
+    txns_per_session: int = 2,
+    programs_per_app: int = 5,
+    timeout: Optional[float] = 60.0,
+    algorithms: Sequence[str] = FIG14_ALGORITHMS,
+) -> Fig14Result:
+    """Fig. 14: compare the seven algorithm configurations on the app suite."""
+    suite = application_suite(sessions, txns_per_session, programs_per_app)
+    records = run_suite(suite, algorithms, timeout=timeout)
+    time_data = CactusData("time_s")
+    memory_data = CactusData("peak_heap_kb")
+    end_data = CactusData("end_states")
+    for algorithm, per_program in records.items():
+        rows = list(per_program.values())
+        time_data.add(algorithm, rows, lambda r: r.seconds)
+        memory_data.add(algorithm, rows, lambda r: r.peak_heap_bytes / 1024.0)
+        end_data.add(algorithm, rows, lambda r: float(r.end_states))
+    return Fig14Result(time_data, memory_data, end_data, records)
+
+
+@dataclass
+class ScalingPoint:
+    """One x-axis point of Fig. 15: averages over the programs at that size."""
+
+    size: int
+    avg_seconds: float
+    avg_peak_heap_kb: float
+    avg_histories: float
+    timeouts: int
+    records: List[RunRecord]
+
+
+def _scaling(suites: Dict[int, List], timeout: Optional[float]) -> List[ScalingPoint]:
+    points: List[ScalingPoint] = []
+    for size in sorted(suites):
+        programs = suites[size]
+        records = run_suite(programs, ["CC"], timeout=timeout)["CC"]
+        rows = list(records.values())
+        n = max(len(rows), 1)
+        points.append(
+            ScalingPoint(
+                size=size,
+                avg_seconds=sum(r.seconds for r in rows) / n,
+                avg_peak_heap_kb=sum(r.peak_heap_bytes for r in rows) / n / 1024.0,
+                avg_histories=sum(r.histories for r in rows) / n,
+                timeouts=sum(1 for r in rows if r.timed_out),
+                records=rows,
+            )
+        )
+    return points
+
+
+def fig15_sessions(
+    max_sessions: int = 4,
+    txns_per_session: int = 2,
+    programs_per_app: int = 2,
+    timeout: Optional[float] = 60.0,
+) -> List[ScalingPoint]:
+    """Fig. 15(a): explore-ce(CC) as the number of sessions grows."""
+    return _scaling(
+        session_scaling_suite(max_sessions, txns_per_session, programs_per_app), timeout
+    )
+
+
+def fig15_transactions(
+    max_txns: int = 4,
+    sessions: int = 2,
+    programs_per_app: int = 2,
+    timeout: Optional[float] = 60.0,
+) -> List[ScalingPoint]:
+    """Fig. 15(b): explore-ce(CC) as transactions per session grow."""
+    return _scaling(
+        transaction_scaling_suite(max_txns, sessions, programs_per_app), timeout
+    )
+
+
+def table_f1(
+    sessions: int = 3,
+    txns_per_session: int = 2,
+    programs_per_app: int = 5,
+    timeout: Optional[float] = 60.0,
+    algorithms: Sequence[str] = FIG14_ALGORITHMS,
+) -> Dict[str, Dict[str, RunRecord]]:
+    """Table F.1: per-program rows for every algorithm configuration."""
+    suite = application_suite(sessions, txns_per_session, programs_per_app)
+    return run_suite(suite, algorithms, timeout=timeout)
+
+
+def table_f2(
+    max_sessions: int = 4,
+    txns_per_session: int = 2,
+    programs_per_app: int = 2,
+    timeout: Optional[float] = 60.0,
+) -> Dict[int, Dict[str, RunRecord]]:
+    """Table F.2: per-program session-scalability rows for explore-ce(CC)."""
+    suites = session_scaling_suite(max_sessions, txns_per_session, programs_per_app)
+    return {
+        size: run_suite(programs, ["CC"], timeout=timeout)["CC"]
+        for size, programs in sorted(suites.items())
+    }
+
+
+def table_f3(
+    max_txns: int = 4,
+    sessions: int = 2,
+    programs_per_app: int = 2,
+    timeout: Optional[float] = 60.0,
+) -> Dict[int, Dict[str, RunRecord]]:
+    """Table F.3: per-program transaction-scalability rows for explore-ce(CC)."""
+    suites = transaction_scaling_suite(max_txns, sessions, programs_per_app)
+    return {
+        size: run_suite(programs, ["CC"], timeout=timeout)["CC"]
+        for size, programs in sorted(suites.items())
+    }

@@ -1,0 +1,157 @@
+"""Benchmark harness: run algorithms on programs, record what the paper reports.
+
+For every (algorithm, program) pair the paper's evaluation reports
+
+* running time (with a timeout),
+* memory consumption (we report the Python-heap peak via ``tracemalloc``
+  plus the explorer's live-event peak — the polynomial-space quantity of
+  Theorem 5.1),
+* the number of *histories* output, and
+* the number of *end states* (histories of complete executions before the
+  ``Valid`` filter of explore-ce*; for DFS: leaves of the execution tree).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..dpor.algorithms import dfs_baseline, explore_ce, explore_ce_star
+from ..lang.program import Program
+
+
+@dataclass
+class RunRecord:
+    """One (algorithm, program) measurement."""
+
+    program: str
+    algorithm: str
+    seconds: float
+    timed_out: bool
+    histories: int
+    end_states: int
+    explore_calls: int
+    blocked: int
+    peak_stack: int
+    peak_live_events: int
+    peak_heap_bytes: int
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "program": self.program,
+            "algorithm": self.algorithm,
+            "histories": self.histories,
+            "end_states": self.end_states,
+            "time_s": round(self.seconds, 4),
+            "timeout": self.timed_out,
+            "peak_heap_kb": self.peak_heap_bytes // 1024,
+            "peak_live_events": self.peak_live_events,
+        }
+
+
+#: An algorithm is a callable (program, timeout) → RunRecord.
+Algorithm = Callable[[Program, Optional[float]], RunRecord]
+
+
+def _measure(fn: Callable[[], RunRecord]) -> RunRecord:
+    tracemalloc.start()
+    try:
+        record = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    record.peak_heap_bytes = peak
+    return record
+
+
+def _dpor_algorithm(
+    label: str, explore_level: str, valid_level: Optional[str]
+) -> Algorithm:
+    def run(program: Program, timeout: Optional[float]) -> RunRecord:
+        def body() -> RunRecord:
+            if valid_level is None:
+                result = explore_ce(
+                    program, explore_level, collect_histories=False, timeout=timeout
+                )
+            else:
+                result = explore_ce_star(
+                    program,
+                    explore_level,
+                    valid_level,
+                    collect_histories=False,
+                    timeout=timeout,
+                )
+            stats = result.stats
+            return RunRecord(
+                program=program.name,
+                algorithm=label,
+                seconds=stats.seconds,
+                timed_out=stats.timed_out,
+                histories=stats.outputs,
+                end_states=stats.end_states,
+                explore_calls=stats.explore_calls,
+                blocked=stats.blocked,
+                peak_stack=stats.peak_stack,
+                peak_live_events=stats.peak_live_events,
+                peak_heap_bytes=0,
+            )
+
+        return _measure(body)
+
+    return run
+
+
+def _dfs_algorithm(label: str, level: str) -> Algorithm:
+    def run(program: Program, timeout: Optional[float]) -> RunRecord:
+        def body() -> RunRecord:
+            result = dfs_baseline(program, level, timeout=timeout)
+            return RunRecord(
+                program=program.name,
+                algorithm=label,
+                seconds=result.seconds,
+                timed_out=result.timed_out,
+                histories=len(result.histories),
+                end_states=result.end_states,
+                explore_calls=result.steps,
+                blocked=result.blocked,
+                peak_stack=0,
+                peak_live_events=0,
+                peak_heap_bytes=0,
+            )
+
+        return _measure(body)
+
+    return run
+
+
+#: The seven algorithm configurations of Fig. 14, by the paper's labels.
+ALGORITHMS: Dict[str, Algorithm] = {
+    "CC": _dpor_algorithm("CC", "CC", None),
+    "CC+SI": _dpor_algorithm("CC+SI", "CC", "SI"),
+    "CC+SER": _dpor_algorithm("CC+SER", "CC", "SER"),
+    "RA+CC": _dpor_algorithm("RA+CC", "RA", "CC"),
+    "RC+CC": _dpor_algorithm("RC+CC", "RC", "CC"),
+    "true+CC": _dpor_algorithm("true+CC", "TRUE", "CC"),
+    "DFS(CC)": _dfs_algorithm("DFS(CC)", "CC"),
+}
+
+
+def run_suite(
+    programs: Sequence[Program],
+    algorithms: Sequence[str],
+    timeout: Optional[float] = None,
+) -> Dict[str, Dict[str, RunRecord]]:
+    """Run each named algorithm on each program.
+
+    Returns ``records[algorithm][program_name]``.
+    """
+    records: Dict[str, Dict[str, RunRecord]] = {}
+    for name in algorithms:
+        algorithm = ALGORITHMS[name]
+        per_program: Dict[str, RunRecord] = {}
+        for program in programs:
+            per_program[program.name] = algorithm(program, timeout)
+        records[name] = per_program
+    return records

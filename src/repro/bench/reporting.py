@@ -1,0 +1,107 @@
+"""Plain-text rendering of benchmark results (tables and cactus series).
+
+The paper presents Fig. 14 as cactus plots and Appendix F as tables; in a
+terminal we print the cactus *series* (per-algorithm sorted metric values)
+and aligned tables with the same columns as the appendix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .experiments import CactusData, Fig14Result, ScalingPoint
+from .harness import RunRecord
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align columns; numbers right-aligned, text left-aligned."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    return bool(cell) and cell.replace(".", "", 1).replace("-", "", 1).isdigit()
+
+
+def render_cactus(data: CactusData) -> str:
+    """One line per algorithm: timeouts + the sorted metric series."""
+    lines = [f"cactus[{data.metric}]"]
+    for algorithm in data.series:
+        series = ", ".join(_fmt(v) for v in data.series[algorithm])
+        timeouts = data.timeouts.get(algorithm, 0)
+        lines.append(f"  {algorithm:8s} (timeouts={timeouts}): [{series}]")
+    return "\n".join(lines)
+
+
+def render_fig14(result: Fig14Result) -> str:
+    return "\n\n".join(
+        [
+            render_cactus(result.time),
+            render_cactus(result.memory),
+            render_cactus(result.end_states),
+        ]
+    )
+
+
+def render_records_table(records: Mapping[str, Mapping[str, RunRecord]]) -> str:
+    """Appendix-F-style table: one row per (program, algorithm)."""
+    headers = [
+        "program",
+        "algorithm",
+        "histories",
+        "end states",
+        "time (s)",
+        "timeout",
+        "peak heap (KB)",
+        "live events",
+    ]
+    rows: List[Sequence[object]] = []
+    programs = sorted({p for per in records.values() for p in per})
+    for program in programs:
+        for algorithm, per in records.items():
+            if program not in per:
+                continue
+            r = per[program]
+            rows.append(
+                [
+                    program,
+                    algorithm,
+                    r.histories,
+                    r.end_states,
+                    r.seconds,
+                    "TL" if r.timed_out else "",
+                    r.peak_heap_bytes // 1024,
+                    r.peak_live_events,
+                ]
+            )
+    return format_table(headers, rows)
+
+
+def render_scaling(points: Sequence[ScalingPoint], axis: str) -> str:
+    headers = [axis, "avg time (s)", "avg peak heap (KB)", "avg histories", "timeouts"]
+    rows = [
+        [p.size, p.avg_seconds, p.avg_peak_heap_kb, p.avg_histories, p.timeouts]
+        for p in points
+    ]
+    return format_table(headers, rows)

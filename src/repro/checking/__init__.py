@@ -1,0 +1,22 @@
+"""Model-checking facade: checker, assertions, results."""
+
+from .assertions import Assertion, assertion, local_equals, local_in, serializable_outcome
+from .checker import ModelChecker, check_program
+from .result import CheckResult, Outcome, Violation
+
+__all__ = [
+    "Assertion",
+    "assertion",
+    "local_equals",
+    "local_in",
+    "serializable_outcome",
+    "ModelChecker",
+    "check_program",
+    "CheckResult",
+    "Outcome",
+    "Violation",
+]
+
+from .report import LevelComparison, compare_levels
+
+__all__ += ["LevelComparison", "compare_levels"]

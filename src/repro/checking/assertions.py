@@ -1,0 +1,66 @@
+"""User assertions over model-checking outcomes.
+
+An assertion is a named predicate over :class:`~repro.checking.result.Outcome`
+objects; the checker evaluates it on every history the exploration outputs
+and reports the violating outcomes.  Because the exploration is sound and
+complete (Theorems 5.1/6.1), "no violation" is a *proof* of the assertion
+for the bounded program under the chosen isolation level — no false
+positives, unlike static dependency-graph analyses (§8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from .result import Outcome
+
+Predicate = Callable[[Outcome], bool]
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """A named predicate expected to hold on every outcome."""
+
+    name: str
+    predicate: Predicate
+
+    def holds(self, outcome: Outcome) -> bool:
+        return bool(self.predicate(outcome))
+
+
+def assertion(name: str) -> Callable[[Predicate], Assertion]:
+    """Decorator form::
+
+        @assertion("no overdraft")
+        def no_overdraft(outcome):
+            return outcome.value("teller", "balance") >= 0
+    """
+
+    def wrap(fn: Predicate) -> Assertion:
+        return Assertion(name, fn)
+
+    return wrap
+
+
+def local_equals(session: str, local: str, expected: Hashable, txn_index: int = 0) -> Assertion:
+    """Assert a transaction's local variable ends with a specific value."""
+    return Assertion(
+        f"{session}[{txn_index}].{local} == {expected!r}",
+        lambda outcome: outcome.value(session, local, txn_index) == expected,
+    )
+
+
+def local_in(session: str, local: str, allowed: Sequence[Hashable], txn_index: int = 0) -> Assertion:
+    """Assert a local variable ends with one of the allowed values."""
+    allowed_set = set(allowed)
+    return Assertion(
+        f"{session}[{txn_index}].{local} in {sorted(map(repr, allowed_set))}",
+        lambda outcome: outcome.value(session, local, txn_index) in allowed_set,
+    )
+
+
+def serializable_outcome(*assertions: Assertion) -> Assertion:
+    """Conjunction of assertions under one name."""
+    name = " and ".join(a.name for a in assertions)
+    return Assertion(name, lambda outcome: all(a.holds(outcome) for a in assertions))

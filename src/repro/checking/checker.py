@@ -1,0 +1,160 @@
+"""The model-checking facade — the library's primary public entry point.
+
+::
+
+    from repro import ModelChecker
+    result = ModelChecker(program, isolation="CC").run(assertions=[...])
+    assert result.ok
+
+The checker picks the right algorithm for the requested isolation level:
+
+* RC / RA / CC / true → the strongly optimal ``explore-ce`` (§5);
+* SI / SER → ``explore-ce*(base, level)`` (§6), exploring under a weaker
+  prefix-closed causally-extensible ``base`` (CC by default, per the paper's
+  observation that CC+SI / CC+SER overhead is negligible);
+* ``method="dfs"`` forces the no-POR baseline (for comparison only).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..dpor.explore import SwappingExplorer
+from ..isolation.base import IsolationLevel, get_level
+from ..lang.program import Program
+from ..semantics.enumerate import enumerate_histories
+from .assertions import Assertion
+from .result import CheckResult, Outcome, Violation
+
+LevelLike = Union[str, IsolationLevel]
+
+
+class ModelChecker:
+    """Configured checker for one program and isolation level.
+
+    Parameters
+    ----------
+    program:
+        The bounded transactional program to check.
+    isolation:
+        The isolation level the database provides: ``"RC"``, ``"RA"``,
+        ``"CC"``, ``"SI"``, ``"SER"`` or ``"TRUE"``.
+    base:
+        For SI/SER: the weaker exploration level of ``explore-ce*``
+        (default CC).
+    method:
+        ``"dpor"`` (default) or ``"dfs"`` for the baseline.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        isolation: LevelLike = "SER",
+        base: Optional[LevelLike] = None,
+        method: str = "dpor",
+    ):
+        self.program = program
+        self.level = get_level(isolation) if isinstance(isolation, str) else isolation
+        if base is not None:
+            self.base: Optional[IsolationLevel] = (
+                get_level(base) if isinstance(base, str) else base
+            )
+        elif self.level.prefix_closed and self.level.causally_extensible:
+            self.base = None
+        else:
+            self.base = get_level("CC")
+        if method not in ("dpor", "dfs"):
+            raise ValueError(f"unknown method {method!r}")
+        self.method = method
+
+    # -- running ------------------------------------------------------------------
+
+    def run(
+        self,
+        assertions: Iterable[Assertion] = (),
+        timeout: Optional[float] = None,
+        keep_outcomes: Union[bool, int] = False,
+        max_violations: Optional[int] = 10,
+    ) -> CheckResult:
+        """Enumerate all histories and evaluate the assertions.
+
+        ``keep_outcomes`` retains outcome objects for inspection (``True``
+        for all, or an integer cap).  ``max_violations`` stops collecting
+        witnesses (not exploring) beyond the given count.
+        """
+        checks: List[Assertion] = list(assertions)
+        violations: List[Violation] = []
+        outcomes: Optional[List[Outcome]] = [] if keep_outcomes else None
+        outcome_cap = None if keep_outcomes is True else keep_outcomes
+        count = 0
+
+        def on_history(history) -> None:
+            nonlocal count
+            count += 1
+            needed = checks or outcomes is not None
+            if not needed:
+                return
+            outcome = Outcome(self.program, history)
+            if outcomes is not None and (outcome_cap is None or len(outcomes) < outcome_cap):
+                outcomes.append(outcome)
+            for check in checks:
+                if max_violations is not None and len(violations) >= max_violations:
+                    return
+                if not check.holds(outcome):
+                    violations.append(Violation(check.name, outcome))
+
+        if self.method == "dfs":
+            result = enumerate_histories(self.program, self.level, timeout=timeout, on_output=on_history)
+            # DFS revisits histories; count each class once for reporting.
+            stats_holder = _dfs_stats(result)
+            return CheckResult(
+                program_name=self.program.name,
+                algorithm=f"DFS({self.level.name})",
+                isolation=self.level.name,
+                history_count=len(result.histories),
+                stats=stats_holder,
+                violations=violations,
+                outcomes=outcomes,
+            )
+
+        explorer = SwappingExplorer(
+            self.program,
+            self.base or self.level,
+            valid_level=self.level if self.base is not None else None,
+            on_output=on_history,
+            collect_histories=False,
+            timeout=timeout,
+        )
+        run = explorer.run()
+        return CheckResult(
+            program_name=self.program.name,
+            algorithm=run.algorithm,
+            isolation=self.level.name,
+            history_count=run.stats.outputs,
+            stats=run.stats,
+            violations=violations,
+            outcomes=outcomes,
+        )
+
+
+def _dfs_stats(result):
+    from ..dpor.stats import ExplorationStats
+
+    return ExplorationStats(
+        explore_calls=result.steps,
+        end_states=result.end_states,
+        outputs=result.histories.total_added,
+        blocked=result.blocked,
+        seconds=result.seconds,
+        timed_out=result.timed_out,
+    )
+
+
+def check_program(
+    program: Program,
+    isolation: LevelLike,
+    assertions: Sequence[Assertion] = (),
+    **kwargs,
+) -> CheckResult:
+    """One-shot convenience wrapper around :class:`ModelChecker`."""
+    return ModelChecker(program, isolation).run(assertions=assertions, **kwargs)

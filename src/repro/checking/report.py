@@ -1,0 +1,81 @@
+"""Cross-isolation-level comparison reports.
+
+The standard workflow of the paper's tool: run the same program and
+assertions under a ladder of isolation levels and see where each assertion
+starts to hold — i.e. *the weakest isolation level under which the
+application is correct*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..isolation.base import IsolationLevel, get_level
+from ..lang.program import Program
+from .assertions import Assertion
+from .checker import ModelChecker
+from .result import CheckResult
+
+DEFAULT_LADDER: Sequence[str] = ("RC", "RA", "CC", "SI", "SER")
+
+
+@dataclass
+class LevelComparison:
+    """Results of one program checked under several isolation levels."""
+
+    program_name: str
+    results: Dict[str, CheckResult]
+    assertions: List[str]
+
+    def weakest_correct_level(self) -> Optional[str]:
+        """The weakest level where every assertion held, or None."""
+        for name, result in self.results.items():
+            if result.ok and not result.timed_out:
+                return name
+        return None
+
+    def verdict_table(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for name, result in self.results.items():
+            rows.append(
+                [
+                    name,
+                    result.history_count,
+                    "PASS" if result.ok else f"FAIL({len(result.violations)})",
+                    round(result.stats.seconds, 3),
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        from ..bench.reporting import format_table
+
+        header = f"{self.program_name}: " + ", ".join(self.assertions)
+        table = format_table(["isolation", "histories", "verdict", "time (s)"], self.verdict_table())
+        weakest = self.weakest_correct_level()
+        footer = (
+            f"weakest correct level: {weakest}"
+            if weakest
+            else "no level in the ladder makes the program correct"
+        )
+        return f"{header}\n{table}\n{footer}"
+
+
+def compare_levels(
+    program: Program,
+    assertions: Sequence[Assertion],
+    levels: Sequence[Union[str, IsolationLevel]] = DEFAULT_LADDER,
+    timeout: Optional[float] = None,
+) -> LevelComparison:
+    """Check ``program`` under each level of the (weak-to-strong) ladder."""
+    results: Dict[str, CheckResult] = {}
+    ordered = [get_level(l) if isinstance(l, str) else l for l in levels]
+    for previous, current in zip(ordered, ordered[1:]):
+        if not previous.is_weaker_than(current):
+            raise ValueError(f"ladder must be ordered weak→strong: {previous.name} > {current.name}")
+    for level in ordered:
+        results[level.name] = ModelChecker(program, isolation=level).run(
+            assertions=assertions, timeout=timeout
+        )
+    return LevelComparison(program.name, results, [a.name for a in assertions])

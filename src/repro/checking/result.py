@@ -1,0 +1,95 @@
+"""Outcomes and results of a model-checking run.
+
+An :class:`Outcome` wraps one complete history together with the program
+that produced it, and exposes the *final local-variable valuations* of every
+transaction — the state user assertions are written against (application
+code observes the database only through its local variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..core.canonical import format_history
+from ..core.events import TxnId
+from ..core.history import History
+from ..dpor.stats import ExplorationStats
+from ..lang.expr import Env
+from ..lang.program import Program
+from ..semantics.executor import final_env
+
+
+class Outcome:
+    """One terminal history of the program, with derived views."""
+
+    def __init__(self, program: Program, history: History):
+        self.program = program
+        self.history = history
+        self._envs: Dict[TxnId, Env] = {}
+
+    def locals_of(self, session: str, txn_index: int = 0) -> Env:
+        """Final local-variable valuation of one transaction."""
+        tid = TxnId(session, txn_index)
+        if tid not in self._envs:
+            self._envs[tid] = final_env(self.program.transaction(tid), self.history.txns[tid])
+        return self._envs[tid]
+
+    def value(self, session: str, local: str, txn_index: int = 0) -> Hashable:
+        """Shorthand: final value of one local variable."""
+        return self.locals_of(session, txn_index).get(local)
+
+    def committed(self, session: str, txn_index: int = 0) -> bool:
+        """Whether the given transaction committed (vs. aborted)."""
+        return self.history.txns[TxnId(session, txn_index)].is_committed
+
+    def describe(self) -> str:
+        """Readable rendering of the underlying history."""
+        return format_history(self.history)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Outcome({self.program.name!r}, {self.history.event_count()} events)"
+
+
+@dataclass
+class Violation:
+    """A failed assertion, with the witnessing outcome."""
+
+    assertion: str
+    outcome: Outcome
+
+    def __repr__(self) -> str:
+        return f"Violation({self.assertion!r})"
+
+    def describe(self) -> str:
+        return f"assertion {self.assertion!r} violated by:\n{self.outcome.describe()}"
+
+
+@dataclass
+class CheckResult:
+    """Result of :meth:`repro.checking.checker.ModelChecker.run`."""
+
+    program_name: str
+    algorithm: str
+    isolation: str
+    history_count: int
+    stats: ExplorationStats
+    violations: List[Violation] = field(default_factory=list)
+    #: Retained outcomes (None when collection was disabled).
+    outcomes: Optional[List[Outcome]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every assertion held on every history."""
+        return not self.violations
+
+    @property
+    def timed_out(self) -> bool:
+        return self.stats.timed_out
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        return (
+            f"{self.program_name} under {self.isolation} [{self.algorithm}]: "
+            f"{self.history_count} histories, {self.stats.seconds:.2f}s — {verdict}"
+        )

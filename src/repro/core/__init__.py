@@ -1,0 +1,30 @@
+"""Core data model: events, transaction logs, histories, ordered histories."""
+
+from .events import INIT_SESSION, INIT_TXN, Event, EventId, EventType, TxnId
+from .history import History, TransactionLog, is_prefix
+from .ordered_history import OrderedHistory
+from .canonical import HistorySet, canonical_key, format_history
+
+__all__ = [
+    "INIT_SESSION",
+    "INIT_TXN",
+    "Event",
+    "EventId",
+    "EventType",
+    "TxnId",
+    "History",
+    "TransactionLog",
+    "is_prefix",
+    "OrderedHistory",
+    "HistorySet",
+    "canonical_key",
+    "format_history",
+]
+
+from .hbuilder import HistoryBuilder, TxnHandle
+
+__all__ += ["HistoryBuilder", "TxnHandle"]
+
+from .dot import history_to_dot
+
+__all__ += ["history_to_dot"]

@@ -1,0 +1,105 @@
+"""Canonical forms and pretty-printing for histories.
+
+The DPOR algorithms are optimal w.r.t. *read-from equivalence*: two
+executions are equivalent iff their histories are equal (same events, same
+``po``/``so``/``wr``).  :func:`canonical_key` produces a hashable key with
+exactly that discriminating power; :class:`HistorySet` collects histories up
+to this equivalence and is the workhorse of the completeness/optimality
+tests and of end-state counting in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .events import EventType
+from .history import History
+
+
+def canonical_key(history: History) -> Tuple:
+    """Hashable identity of ``history`` up to read-from equivalence."""
+    return history.canonical_key()
+
+
+class HistorySet:
+    """A set of histories modulo read-from equivalence.
+
+    Keeps one representative per equivalence class and counts how many times
+    each class was added — the duplicate counts are what distinguish an
+    *optimal* enumeration (all counts 1) from the naive DFS baseline.
+    """
+
+    def __init__(self) -> None:
+        self._members: Dict[Tuple, History] = {}
+        self._counts: Dict[Tuple, int] = {}
+
+    def add(self, history: History) -> bool:
+        """Add a history; returns True iff its class was not seen before."""
+        key = canonical_key(history)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        if key in self._members:
+            return False
+        self._members[key] = history
+        return True
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, history: History) -> bool:
+        return canonical_key(history) in self._members
+
+    def __iter__(self) -> Iterator[History]:
+        return iter(self._members.values())
+
+    @property
+    def total_added(self) -> int:
+        """Number of ``add`` calls, duplicates included."""
+        return sum(self._counts.values())
+
+    @property
+    def duplicates(self) -> int:
+        return self.total_added - len(self)
+
+    def duplicate_classes(self) -> List[History]:
+        """Representatives of classes added more than once (optimality bugs)."""
+        return [self._members[k] for k, n in self._counts.items() if n > 1]
+
+    def keys(self) -> Iterable[Tuple]:
+        return self._members.keys()
+
+    def symmetric_difference(self, other: "HistorySet") -> Tuple[List[History], List[History]]:
+        """(histories only in self, histories only in other)."""
+        only_self = [h for k, h in self._members.items() if k not in other._members]
+        only_other = [h for k, h in other._members.items() if k not in self._members]
+        return only_self, only_other
+
+
+def format_history(history: History, indent: str = "") -> str:
+    """Human-readable rendering of a history, for examples and debugging.
+
+    Transactions are grouped per session; each read is annotated with the
+    transaction it reads from.
+    """
+    lines: List[str] = []
+    wr = history.wr
+    sessions = sorted(history.sessions)
+    for session in sessions:
+        lines.append(f"{indent}session {session}:")
+        for tid in history.sessions[session]:
+            log = history.txns[tid]
+            status = "committed" if log.is_committed else "aborted" if log.is_aborted else "pending"
+            lines.append(f"{indent}  txn {tid.index} [{status}]")
+            for event in log.events:
+                if event.type is EventType.READ:
+                    source: Optional[str] = None
+                    if event.eid in wr:
+                        src = wr[event.eid]
+                        source = f" <- {src.session}/{src.index}"
+                    elif event.local:
+                        source = " (local)"
+                    lines.append(f"{indent}    read({event.var}) = {event.value!r}{source or ''}")
+                elif event.type is EventType.WRITE:
+                    lines.append(f"{indent}    write({event.var}, {event.value!r})")
+                else:
+                    lines.append(f"{indent}    {event.type.value}")
+    return "\n".join(lines)

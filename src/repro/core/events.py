@@ -1,0 +1,107 @@
+"""Events and transaction identifiers (paper §2.2.1).
+
+Programs interact with the database by issuing transactions formed of
+``begin``, ``commit``, ``abort``, ``read`` and ``write`` instructions.  The
+effect of executing one such instruction is represented by an *event*.
+
+Identifiers are structural and deterministic so that histories produced on
+different exploration branches can be compared for read-from equivalence:
+
+* a transaction is identified by ``TxnId(session, index)`` — the ``index``-th
+  transaction (0-based) issued by session ``session``;
+* an event is identified by ``EventId(txn, pos)`` — the ``pos``-th event
+  (0-based, in program order ``po``) of transaction ``txn``.
+
+The distinguished transaction writing the initial values of all global
+variables (paper Def. 2.1) uses the reserved session id :data:`INIT_SESSION`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+#: Reserved session identifier of the ``init`` transaction.
+INIT_SESSION: str = "__init__"
+
+
+@dataclass(frozen=True, order=True)
+class TxnId:
+    """Identifier of a transaction log: session id + position in session."""
+
+    session: str
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"t({self.session},{self.index})"
+
+    @property
+    def is_init(self) -> bool:
+        """Whether this is the distinguished initial transaction."""
+        return self.session == INIT_SESSION
+
+
+#: The id of the distinguished transaction writing all initial values.
+INIT_TXN: TxnId = TxnId(INIT_SESSION, 0)
+
+
+@dataclass(frozen=True, order=True)
+class EventId:
+    """Identifier of an event: owning transaction + program-order position."""
+
+    txn: TxnId
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"e({self.txn.session},{self.txn.index},{self.pos})"
+
+
+class EventType(enum.Enum):
+    """The five event types of the paper (§2.2.1)."""
+
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event ⟨e, type⟩, possibly carrying a variable and a value.
+
+    ``var`` is set for READ and WRITE events.  ``value`` is set for WRITE
+    events (the written value) and for READ events (the value observed; for
+    an external read this is derived from the write-read relation and cached
+    here for convenience — it is *not* part of read-from equivalence, it is
+    determined by it).
+
+    ``local`` marks READ events that are preceded by a write to the same
+    variable in the same transaction (paper §2.2.1): such reads return the
+    value of the latest program-order-preceding write and do not take part
+    in the write-read relation, in ``reads(t)``, or in swaps.
+    """
+
+    eid: EventId
+    type: EventType
+    var: Optional[str] = None
+    value: Hashable = None
+    local: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.type is EventType.READ:
+            tag = "lread" if self.local else "read"
+            return f"{tag}({self.var})={self.value!r}@{self.eid!r}"
+        if self.type is EventType.WRITE:
+            return f"write({self.var},{self.value!r})@{self.eid!r}"
+        return f"{self.type.value}@{self.eid!r}"
+
+    @property
+    def is_external_read(self) -> bool:
+        """READ event that takes part in the write-read relation."""
+        return self.type is EventType.READ and not self.local
+
+    def with_value(self, value: Hashable) -> "Event":
+        """Copy of this event with a different observed/written value."""
+        return Event(self.eid, self.type, self.var, value, self.local)

@@ -1,0 +1,152 @@
+"""Declarative construction of histories.
+
+Histories normally arise from executing programs, but it is often useful to
+write one down directly — to check a recorded execution against an isolation
+level (the Biswas–Enea use case), to reproduce the paper's figures, or in
+tests.  :class:`HistoryBuilder` offers exactly that::
+
+    b = HistoryBuilder(variables=["x", "y"])
+    t1 = b.txn("alice")
+    t1.write("x", 1)
+    t1.commit()
+
+    t2 = b.txn("bob")
+    t2.read("x", source=t1)     # bob reads x from alice's transaction
+    t2.write("y", 2)
+    t2.commit()
+
+    history = b.build()
+    CC.satisfies(history)
+
+Reads resolve their observed value from the source transaction's visible
+write at :meth:`HistoryBuilder.build` time, so transactions can be declared
+in any order as long as sources are declared before use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+from .events import INIT_TXN, Event, EventId, EventType, TxnId
+from .history import History, TransactionLog
+
+
+class TxnHandle:
+    """Mutable recorder for one transaction's events (builder-internal)."""
+
+    def __init__(self, builder: "HistoryBuilder", tid: TxnId):
+        self._builder = builder
+        self.tid = tid
+        self._specs: List[Tuple] = []  # ("read", var, source) | ("write", var, value) | ("commit"/"abort",)
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"transaction {self.tid!r} already completed")
+
+    def read(self, var: str, source: Optional[Union["TxnHandle", TxnId]] = None) -> "TxnHandle":
+        """Record a read of ``var``.
+
+        ``source`` names the transaction the read reads from and is required
+        unless an earlier write to ``var`` in this same transaction makes
+        this a local read.
+        """
+        self._check_open()
+        src = source.tid if isinstance(source, TxnHandle) else source
+        local = any(s[0] == "write" and s[1] == var for s in self._specs)
+        if src is None and not local:
+            raise ValueError(f"external read of {var!r} in {self.tid!r} needs a source")
+        if src is not None and local:
+            raise ValueError(f"read of {var!r} in {self.tid!r} is local; it cannot have a source")
+        self._specs.append(("read", var, src))
+        return self
+
+    def write(self, var: str, value: Hashable) -> "TxnHandle":
+        """Record a write of ``value`` to ``var``."""
+        self._check_open()
+        self._specs.append(("write", var, value))
+        return self
+
+    def commit(self) -> "TxnHandle":
+        self._check_open()
+        self._specs.append(("commit",))
+        self._closed = True
+        return self
+
+    def abort(self) -> "TxnHandle":
+        self._check_open()
+        self._specs.append(("abort",))
+        self._closed = True
+        return self
+
+
+class HistoryBuilder:
+    """Builds a :class:`~repro.core.history.History` from declared transactions."""
+
+    def __init__(self, variables: Iterable[str], initial_value: Hashable = 0):
+        self._variables = sorted(set(variables))
+        self._initial_value = initial_value
+        self._handles: List[TxnHandle] = []
+        self._session_counts: Dict[str, int] = {}
+
+    @property
+    def init(self) -> TxnId:
+        """The distinguished initial transaction (valid read source)."""
+        return INIT_TXN
+
+    def txn(self, session: str) -> TxnHandle:
+        """Open a new transaction in ``session`` (session order = call order)."""
+        index = self._session_counts.get(session, 0)
+        self._session_counts[session] = index + 1
+        handle = TxnHandle(self, TxnId(session, index))
+        self._handles.append(handle)
+        return handle
+
+    def build(self, auto_commit: bool = True) -> History:
+        """Materialise the history; open transactions stay pending unless
+        ``auto_commit``."""
+        history = History.initial(self._variables, self._initial_value)
+        sessions: Dict[str, Tuple[TxnId, ...]] = {}
+        txns = dict(history.txns)
+        wr: Dict[EventId, TxnId] = {}
+        pending_reads: List[Tuple[EventId, TxnId, str]] = []
+
+        for handle in self._handles:
+            tid = handle.tid
+            specs = list(handle._specs)
+            if auto_commit and not handle._closed:
+                specs.append(("commit",))
+            events: List[Event] = [Event(EventId(tid, 0), EventType.BEGIN)]
+            for spec in specs:
+                eid = EventId(tid, len(events))
+                if spec[0] == "read":
+                    _, var, src = spec
+                    if src is None:
+                        last = None
+                        for prev in reversed(events):
+                            if prev.type is EventType.WRITE and prev.var == var:
+                                last = prev
+                                break
+                        events.append(Event(eid, EventType.READ, var, last.value, local=True))
+                    else:
+                        events.append(Event(eid, EventType.READ, var, None))
+                        pending_reads.append((eid, src, var))
+                elif spec[0] == "write":
+                    _, var, value = spec
+                    events.append(Event(eid, EventType.WRITE, var, value))
+                elif spec[0] == "commit":
+                    events.append(Event(eid, EventType.COMMIT))
+                else:
+                    events.append(Event(eid, EventType.ABORT))
+            txns[tid] = TransactionLog(tid, tuple(events))
+            order = sessions.get(tid.session, ())
+            sessions[tid.session] = order + (tid,)
+
+        result = History(sessions, txns, wr)
+        # Resolve read sources now that every transaction log exists.
+        for eid, src, var in pending_reads:
+            if src not in result.txns:
+                raise ValueError(f"read source {src!r} was never declared")
+            result = result.with_read_source(eid, src)
+        result.validate()
+        return result

@@ -1,0 +1,134 @@
+"""Ordered histories ``(h, <)`` — the objects the DPOR algorithms explore.
+
+The exploration algorithms of §4–§6 work with a history plus a total order
+``<`` over all its events, consistent with ``po``, ``so`` and ``wr``.  The
+order records the succession in which events were *added* to the history
+(modulo swaps), and drives ``ComputeReorderings``/``Swap``/``Optimality``.
+
+Invariants maintained by the exploration (checked in tests):
+
+* at most one transaction is pending, so transactions occupy *contiguous
+  blocks* of ``<``; this makes ``<`` induce a total order on transactions;
+* every read event follows the transaction it reads from (footnote 7 of the
+  paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .events import Event, EventId, TxnId
+from .history import History
+
+
+class OrderedHistory:
+    """An immutable pair of a :class:`History` and a total event order."""
+
+    __slots__ = ("history", "order", "_index")
+
+    def __init__(self, history: History, order: Sequence[EventId]):
+        self.history = history
+        self.order: Tuple[EventId, ...] = tuple(order)
+        self._index: Optional[Dict[EventId, int]] = None
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def initial(cls, history: History) -> "OrderedHistory":
+        """Order the initial history: the init transaction's events first."""
+        from .events import INIT_TXN
+
+        order = [e.eid for e in history.txns[INIT_TXN].events]
+        return cls(history, order)
+
+    def extended(self, history: History, eid: EventId) -> "OrderedHistory":
+        """``(h, <) ⊕ e``: new ordered history with ``eid`` appended to ``<``."""
+        return OrderedHistory(history, self.order + (eid,))
+
+    def replaced(self, history: History) -> "OrderedHistory":
+        """Same order, updated history (used when only wr/values changed)."""
+        return OrderedHistory(history, self.order)
+
+    # -- position queries ---------------------------------------------------------
+
+    def index(self, eid: EventId) -> int:
+        if self._index is None:
+            self._index = {e: i for i, e in enumerate(self.order)}
+        return self._index[eid]
+
+    def before(self, first: EventId, second: EventId) -> bool:
+        """``first < second`` in the history order."""
+        return self.index(first) < self.index(second)
+
+    @property
+    def last(self) -> EventId:
+        return self.order[-1]
+
+    def last_event(self) -> Event:
+        return self.history.event(self.order[-1])
+
+    def events_from(self, eid: EventId, strict: bool = True) -> Iterator[EventId]:
+        """Events ``e`` with ``eid < e`` (or ``eid ≤ e`` if not strict)."""
+        start = self.index(eid) + (1 if strict else 0)
+        return iter(self.order[start:])
+
+    # -- the induced transaction order ----------------------------------------------
+
+    def txn_position(self, tid: TxnId) -> int:
+        """Position of a transaction in ``<``: index of its first event.
+
+        Well-defined because transaction blocks are contiguous in ``<``.
+        """
+        return self.index(EventId(tid, 0))
+
+    def txn_before(self, a: TxnId, b: TxnId) -> bool:
+        """``a < b`` on transactions."""
+        return self.txn_position(a) < self.txn_position(b)
+
+    def event_before_txn(self, eid: EventId, tid: TxnId) -> bool:
+        """``e < t``: the event precedes every event of ``t`` in ``<``.
+
+        With contiguous transaction blocks this is exactly ``e`` before the
+        first event of ``t``.
+        """
+        return self.index(eid) < self.txn_position(tid)
+
+    def txn_before_event(self, tid: TxnId, eid: EventId) -> bool:
+        """``t < e``: every present event of ``t`` precedes ``e`` in ``<``."""
+        log = self.history.txns[tid]
+        return self.index(log.last_event.eid) < self.index(eid)
+
+    def txns_in_order(self) -> List[TxnId]:
+        """All transactions sorted by their block position in ``<``."""
+        return sorted(self.history.txns, key=self.txn_position)
+
+    # -- validation (tests) ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the ordered-history invariants listed in the module docstring."""
+        present = {e.eid for e in self.history.events()}
+        if set(self.order) != present or len(self.order) != len(present):
+            raise AssertionError("order is not a permutation of the history's events")
+        # po compatibility + contiguity of transaction blocks.
+        seen_complete = set()
+        current: Optional[TxnId] = None
+        for eid in self.order:
+            if eid.txn != current:
+                if eid.txn in seen_complete:
+                    raise AssertionError(f"transaction block {eid.txn!r} is not contiguous")
+                if current is not None:
+                    seen_complete.add(current)
+                current = eid.txn
+                expected = 0
+            if eid.pos != expected:
+                raise AssertionError(f"{eid!r} out of po order in <")
+            expected = eid.pos + 1
+        # wr compatibility: reads follow their source transaction.
+        for read, writer in self.history.wr.items():
+            if not self.txn_before_event(writer, read):
+                raise AssertionError(f"read {read!r} precedes its wr source {writer!r}")
+        if len(self.history.pending_transactions()) > 1:
+            raise AssertionError("more than one pending transaction")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OrderedHistory(order={[repr(e) for e in self.order]})"

@@ -1,0 +1,133 @@
+"""Small relation/graph utilities used throughout the library.
+
+Histories are tiny (tens of nodes), so the implementations favour clarity
+over asymptotic cleverness: reachability is DFS, closures are dict-of-set
+saturations, cycle detection is iterative colouring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, Set, Tuple
+
+Node = Hashable
+Adjacency = Mapping[Node, Set[Node]]
+
+
+def make_adjacency(nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]) -> Dict[Node, Set[Node]]:
+    """Build an adjacency map over ``nodes`` from an edge iterable.
+
+    Edge endpoints must be members of ``nodes``; this is asserted because a
+    dangling endpoint always indicates a bug in history construction.
+    """
+    adj: Dict[Node, Set[Node]] = {n: set() for n in nodes}
+    for src, dst in edges:
+        if src not in adj or dst not in adj:
+            raise ValueError(f"edge ({src!r}, {dst!r}) has endpoint outside node set")
+        adj[src].add(dst)
+    return adj
+
+
+def reachable_from(adj: Adjacency, start: Node) -> Set[Node]:
+    """All nodes reachable from ``start`` (excluding ``start`` unless on a cycle)."""
+    seen: Set[Node] = set()
+    stack = list(adj.get(start, ()))
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(adj.get(node, ()))
+    return seen
+
+
+def transitive_closure(adj: Adjacency) -> Dict[Node, Set[Node]]:
+    """The strict transitive closure ``R+`` as a node → descendants map."""
+    return {node: reachable_from(adj, node) for node in adj}
+
+
+def reaches(adj: Adjacency, src: Node, dst: Node) -> bool:
+    """Whether ``dst`` is reachable from ``src`` by a non-empty path."""
+    return dst in reachable_from(adj, src)
+
+
+def reaches_reflexive(adj: Adjacency, src: Node, dst: Node) -> bool:
+    """Whether ``(src, dst) ∈ R*`` (reflexive-transitive closure)."""
+    return src == dst or reaches(adj, src, dst)
+
+
+def is_acyclic(adj: Adjacency) -> bool:
+    """Cycle check by iterative three-colour DFS."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Node, int] = {n: WHITE for n in adj}
+    for root in adj:
+        if colour[root] != WHITE:
+            continue
+        stack = [(root, iter(adj[root]))]
+        colour[root] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if colour[succ] == GREY:
+                    return False
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    stack.append((succ, iter(adj[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return True
+
+
+def topological_orders(adj: Adjacency):
+    """Yield every topological order of the DAG ``adj`` (exponential!).
+
+    Used only by the brute-force reference consistency checker on tiny
+    histories and by tests.  ``adj`` maps node → successors; an order lists
+    each node after all its predecessors.
+    """
+    indegree: Dict[Node, int] = {n: 0 for n in adj}
+    for node in adj:
+        for succ in adj[node]:
+            indegree[succ] += 1
+    order: list = []
+
+    def backtrack():
+        ready = [n for n in adj if indegree[n] == 0 and n not in placed]
+        if not ready:
+            if len(order) == len(adj):
+                yield tuple(order)
+            return
+        for node in ready:
+            placed.add(node)
+            order.append(node)
+            for succ in adj[node]:
+                indegree[succ] -= 1
+            yield from backtrack()
+            for succ in adj[node]:
+                indegree[succ] += 1
+            order.pop()
+            placed.discard(node)
+
+    placed: Set[Node] = set()
+    yield from backtrack()
+
+
+def downward_closed(nodes: Set[Node], adj: Adjacency) -> bool:
+    """Whether ``nodes`` is R-downward closed in the graph ``adj``.
+
+    I.e. whenever it contains ``b`` it contains every ``a`` with an edge
+    ``a → b`` (paper §3.1).
+    """
+    for node in adj:
+        for succ in adj[node]:
+            if succ in nodes and node not in nodes:
+                return False
+    return True
+
+
+def restrict(adj: Adjacency, keep: Set[Node]) -> Dict[Node, Set[Node]]:
+    """The restriction ``R ↓ keep × keep`` of a relation (paper §3.1)."""
+    return {n: {s for s in succs if s in keep} for n, succs in adj.items() if n in keep}

@@ -1,0 +1,228 @@
+"""The swapping-based SMC algorithms (paper Algorithms 1 and 2, §4–§6).
+
+:class:`SwappingExplorer` implements the generic ``explore`` /
+``exploreSwaps`` recursion, instantiated with
+
+* the deterministic oracle-order ``Next`` and ``ValidWrites`` of §5.1,
+* the ``ComputeReorderings``/``Swap`` of §5.2, and
+* the ``Optimality`` restriction (``swapped`` + ``readLatest``) of §5.3,
+
+which together are the algorithm the paper calls **explore-ce** — sound,
+complete, strongly optimal and polynomial-space for any prefix-closed and
+causally-extensible isolation level (Theorem 5.1).
+
+Setting ``valid_level`` turns it into **explore-ce\\*(I0, I)** (§6): the
+exploration runs under the weaker level ``I0`` and the ``Valid`` filter
+keeps only ``I``-consistent histories at output time — the construction used
+for Snapshot Isolation and Serializability, which admit no strongly optimal
+swapping-based algorithm (Theorem 6.1).
+
+The recursion is realised with an explicit LIFO work stack (the paper's
+implementation is iterative too, §7.1); the peak stack size is the paper's
+polynomial-memory bound and is reported in the statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..core.canonical import HistorySet
+from ..core.events import EventId
+from ..core.history import History
+from ..core.ordered_history import OrderedHistory
+from ..isolation.base import IsolationLevel
+from ..lang.program import Program
+from ..semantics.enumerate import ExplorationTimeout
+from ..semantics.scheduler import apply_action, next_action, valid_writes
+from .optimality import optimality
+from .stats import ExplorationStats
+from .swaps import compute_reorderings
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one SMC run."""
+
+    program_name: str
+    algorithm: str
+    stats: ExplorationStats
+    histories: Optional[HistorySet]
+
+    @property
+    def distinct_histories(self) -> int:
+        if self.histories is None:
+            raise ValueError("run was configured with collect_histories=False")
+        return len(self.histories)
+
+    @property
+    def is_optimal_run(self) -> bool:
+        """No history class was output twice (the optimality property)."""
+        return self.histories is not None and self.histories.duplicates == 0
+
+
+_EXPLORE = 0
+_SWAPS = 1
+
+
+class SwappingExplorer:
+    """One configured run of the swapping-based exploration.
+
+    Parameters
+    ----------
+    program:
+        The bounded transactional program to check.
+    level:
+        The exploration isolation level ``I0``; must be prefix-closed and
+        causally extensible for the correctness guarantees to hold (this is
+        enforced unless ``allow_any_level``).
+    valid_level:
+        Optional stronger level ``I`` applied as the output filter
+        (``explore-ce*``); ``None`` means ``Valid ≡ true`` (plain
+        ``explore-ce``).
+    on_output:
+        Callback invoked with every output history.
+    collect_histories:
+        Keep an in-memory :class:`HistorySet` of outputs (needed by the
+        correctness tests; benchmark runs may disable it to count only).
+    check_invariants:
+        Re-validate the ordered-history invariants and the
+        strong-optimality property at every call (slow; used in tests).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        level: IsolationLevel,
+        valid_level: Optional[IsolationLevel] = None,
+        on_output: Optional[Callable[[History], None]] = None,
+        collect_histories: bool = True,
+        check_invariants: bool = False,
+        timeout: Optional[float] = None,
+        allow_any_level: bool = False,
+        restrict_swaps: bool = True,
+    ):
+        if not allow_any_level and not (level.prefix_closed and level.causally_extensible):
+            raise ValueError(
+                f"exploration level {level.name} must be prefix-closed and causally "
+                f"extensible; use it as valid_level on top of a weaker level instead"
+            )
+        if valid_level is not None and not level.is_weaker_than(valid_level):
+            raise ValueError(f"{level.name} must be weaker than {valid_level.name}")
+        self.program = program
+        self.level = level
+        self.valid_level = valid_level
+        self.on_output = on_output
+        self.collect_histories = collect_histories
+        self.check_invariants = check_invariants
+        self.timeout = timeout
+        #: Ablation switch: with False, the Optimality condition of §5.3 is
+        #: replaced by a bare consistency check on the swapped history —
+        #: still sound and complete, but histories are explored redundantly.
+        self.restrict_swaps = restrict_swaps
+        self.stats = ExplorationStats()
+        self.histories: Optional[HistorySet] = HistorySet() if collect_histories else None
+
+    @property
+    def algorithm_name(self) -> str:
+        if self.valid_level is None:
+            return f"explore-ce({self.level.name})"
+        return f"explore-ce*({self.level.name}, {self.valid_level.name})"
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> ExplorationResult:
+        """Execute the exploration to completion (or timeout)."""
+        start = time.monotonic()
+        deadline = start + self.timeout if self.timeout else None
+        initial = OrderedHistory.initial(
+            self.program.initial_history()
+        )
+        stack: List[Tuple[int, OrderedHistory]] = [(_EXPLORE, initial)]
+        live_events = initial.history.event_count()
+        ticks = 0
+        try:
+            while stack:
+                ticks += 1
+                if deadline is not None and ticks % 32 == 0 and time.monotonic() > deadline:
+                    raise ExplorationTimeout
+                kind, oh = stack.pop()
+                live_events -= oh.history.event_count()
+                pushed = self._explore(oh) if kind == _EXPLORE else self._explore_swaps(oh)
+                stack.extend(reversed(pushed))
+                live_events += sum(item[1].history.event_count() for item in pushed)
+                if len(stack) > self.stats.peak_stack:
+                    self.stats.peak_stack = len(stack)
+                if live_events > self.stats.peak_live_events:
+                    self.stats.peak_live_events = live_events
+        except ExplorationTimeout:
+            self.stats.timed_out = True
+        self.stats.seconds = time.monotonic() - start
+        return ExplorationResult(self.program.name, self.algorithm_name, self.stats, self.histories)
+
+    # -- the two mutually recursive steps, in continuation form ----------------------
+
+    def _explore(self, oh: OrderedHistory) -> List[Tuple[int, OrderedHistory]]:
+        """One ``explore`` call; returns the continuations to push."""
+        self.stats.explore_calls += 1
+        if self.check_invariants:
+            oh.validate()
+            if not self.level.satisfies(oh.history):
+                raise AssertionError(
+                    f"strong optimality violated: explore reached a non-{self.level.name} history"
+                )
+        action = next_action(self.program, oh.history)
+        if action is None:
+            self._output(oh.history)
+            return []
+        if action.is_external_read:
+            choices = valid_writes(oh.history, action, self.level)
+            self.stats.consistency_checks += max(len(choices), 1)
+            if not choices:
+                self.stats.blocked += 1
+                return []
+            eid = EventId(action.txn, len(oh.history.txns[action.txn].events))
+            pushed: List[Tuple[int, OrderedHistory]] = []
+            # Deterministic branch order: writers by position in <.
+            choices.sort(key=lambda pair: oh.txn_position(pair[0]))
+            for _writer, extended in choices:
+                branch = oh.extended(extended, eid)
+                pushed.append((_EXPLORE, branch))
+                pushed.append((_SWAPS, branch))
+            return pushed
+        extended = apply_action(oh, action)
+        return [(_EXPLORE, extended), (_SWAPS, extended)]
+
+    def _explore_swaps(self, oh: OrderedHistory) -> List[Tuple[int, OrderedHistory]]:
+        """One ``exploreSwaps`` call; returns the continuations to push."""
+        pairs = compute_reorderings(oh)
+        self.stats.swap_candidates += len(pairs)
+        pushed: List[Tuple[int, OrderedHistory]] = []
+        for read, target in pairs:
+            if self.restrict_swaps:
+                enabled, swapped_oh = optimality(self.program, oh, read, target, self.level)
+            else:
+                from .swaps import swap
+
+                swapped_oh = swap(oh, read, target)
+                enabled = self.level.satisfies(swapped_oh.history)
+            self.stats.consistency_checks += 1
+            if enabled:
+                assert swapped_oh is not None
+                self.stats.swaps_applied += 1
+                pushed.append((_EXPLORE, swapped_oh))
+        return pushed
+
+    def _output(self, history: History) -> None:
+        self.stats.end_states += 1
+        if self.valid_level is not None:
+            self.stats.consistency_checks += 1
+            if not self.valid_level.satisfies(history):
+                self.stats.filtered += 1
+                return
+        self.stats.outputs += 1
+        if self.histories is not None:
+            self.histories.add(history)
+        if self.on_output is not None:
+            self.on_output(history)

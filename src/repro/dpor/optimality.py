@@ -1,0 +1,156 @@
+"""The Optimality condition of explore-ce: ``swapped`` and ``readLatest`` (§5.3).
+
+Re-orderings must be restricted to avoid exploring the same history on two
+branches.  A swap of ``(r, t)`` is enabled only when
+
+* the swapped history is consistent with the exploration level, and
+* every read deleted by the swap — and the re-ordered read ``r`` itself —
+  (a) has not itself been swapped in the past (``¬swapped``), and
+  (b) currently reads from the causally-latest valid write (``readLatest``).
+
+These are exactly the two redundancy sources illustrated by Figs. 12 and 13
+of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.events import Event, EventId, EventType, TxnId
+from ..core.history import History
+from ..core.ordered_history import OrderedHistory
+from ..isolation.base import IsolationLevel
+from ..lang.program import Program
+from .swaps import doomed_events, swap
+
+
+def is_swapped(program: Program, oh: OrderedHistory, read: EventId) -> bool:
+    """``swapped(h, <, r)`` (§5.3).
+
+    ``r`` reads from a transaction ``t`` that the scheduler would only have
+    produced *after* ``r`` (so their current order must stem from a swap),
+    with two refinements that rule out spurious classifications:
+
+    (1) ``t < r`` in the history order and ``t >or r`` in the oracle order;
+    (2) there is no transaction ``t'`` before ``tr(r)`` in the oracle order
+        and not wholly after ``r`` in the history order that is a causal
+        successor of ``t``;
+    (3) ``r`` is the po-first read of its transaction reading from ``t``,
+        and no po-earlier read of the transaction is itself swapped.
+
+    The second half of (3) realises the paper's reading of the condition —
+    "after swapping r and t in h, later read events from the same
+    transaction as r can[not] be considered as swapped" (§5.3) — for later
+    reads whose source *differs* from ``t``: once an earlier read of the
+    transaction was swapped, the transaction's block has been moved behind
+    or-later writers, so a subsequent read choosing such a writer through
+    ValidWrites is a re-execution, not a swap.  Without this, completeness
+    fails (a 4-transaction witness lives in the test suite).
+    """
+    history = oh.history
+    source = history.wr.get(read)
+    if source is None:
+        return False
+    reader = read.txn
+    # (1) — ``t < r`` always holds by the footnote-7 invariant.
+    if not oh.txn_before_event(source, read):
+        return False
+    if not program.oracle_before(reader, source):
+        return False
+    # (2)
+    for other in history.txns:
+        if other == reader or not program.oracle_before(other, reader):
+            continue
+        if oh.event_before_txn(read, other):
+            continue
+        if history.causally_before(source, other):
+            return False
+    # (3)
+    reader_log = history.txns[reader]
+    for event in reader_log.events[: read.pos]:
+        if not event.is_external_read:
+            continue
+        if history.wr.get(event.eid) == source:
+            return False
+        if is_swapped(program, oh, event.eid):
+            return False
+    return True
+
+
+def read_latest(
+    oh: OrderedHistory,
+    read: EventId,
+    target: TxnId,
+    level: IsolationLevel,
+) -> bool:
+    """``readLatest_I(h, <, r', t)`` (§5.3).
+
+    Whether ``r'`` reads from the ``<``-latest transaction in its causal
+    past (computed in the pruned history ``h' = h \\ {e | r' ≤ e ∧
+    (tr(e), t) ∉ (so ∪ wr)*}``, i.e. with ``r'`` and its own wr dependency
+    removed) from which reading is consistent with ``level``.
+    """
+    history = oh.history
+    current_source = history.wr.get(read)
+    if current_source is None:
+        return True
+    pruned = history.remove_events(doomed_events(oh, read, target, strict=False))
+    reader = read.txn
+    var = history.event(read).var
+
+    best: Optional[TxnId] = None
+    best_pos = -1
+    for log in pruned.committed_transactions():
+        if not log.writes_var(var):
+            continue
+        if not pruned.causally_before_eq(log.tid, reader):
+            continue
+        candidate = _reappend_read(pruned, read, var, log.tid)
+        if not level.satisfies(candidate):
+            continue
+        pos = oh.txn_position(log.tid)
+        if pos > best_pos:
+            best, best_pos = log.tid, pos
+    return best == current_source
+
+
+def _reappend_read(pruned: History, read: EventId, var: str, writer: TxnId) -> History:
+    """``h' ⊕ r' ⊕ wr(t', r')``: put the read back with a new source."""
+    reader = read.txn
+    log = pruned.txns[reader]
+    if len(log.events) != read.pos:
+        raise AssertionError(f"pruned log of {reader!r} does not end right before {read!r}")
+    value = pruned.visible_write_value(writer, var)
+    event = Event(read, EventType.READ, var, value)
+    return pruned.append_event(reader.session, event).add_wr(writer, read)
+
+
+def optimality(
+    program: Program,
+    oh: OrderedHistory,
+    read: EventId,
+    target: TxnId,
+    level: IsolationLevel,
+) -> Tuple[bool, Optional[OrderedHistory]]:
+    """The Optimality predicate gating a swap (§5.3).
+
+    Returns ``(enabled, swapped_history)`` — the swapped history is computed
+    as part of the check (its consistency is the first conjunct), so the
+    caller reuses it instead of swapping twice.
+    """
+    history = oh.history
+    swapped_oh = swap(oh, read, target)
+    if not level.satisfies(swapped_oh.history):
+        return False, None
+    # Reads deleted by the swap, plus the re-ordered read itself.
+    doomed = doomed_events(oh, read, target, strict=True)
+    affected: List[EventId] = [read]
+    for event in history.reads():
+        if event.eid in doomed:
+            affected.append(event.eid)
+    for eid in affected:
+        if is_swapped(program, oh, eid):
+            return False, None
+        if not read_latest(oh, eid, target, level):
+            return False, None
+    return True, swapped_oh

@@ -1,0 +1,60 @@
+"""Exploration statistics collected by the SMC algorithms.
+
+The paper's evaluation reports running time, memory consumption and number
+of end states per algorithm; the stats object additionally tracks the
+counters the correctness properties are stated over (explore calls, blocked
+branches, swap candidates/applications, filtered outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExplorationStats:
+    """Counters for one run of a swapping-based SMC algorithm."""
+
+    #: Recursive invocations of ``explore`` (≈ events added + swaps taken).
+    explore_calls: int = 0
+    #: Histories passed to the output step (before the Valid filter).
+    end_states: int = 0
+    #: Histories actually output (after the Valid filter of explore-ce*).
+    outputs: int = 0
+    #: End states rejected by the Valid filter.
+    filtered: int = 0
+    #: Branches where an external read had no valid write — strong
+    #: optimality requires this to stay 0 for causally-extensible levels.
+    blocked: int = 0
+    #: (r, t) pairs returned by ComputeReorderings.
+    swap_candidates: int = 0
+    #: Pairs that passed the Optimality condition and were swapped.
+    swaps_applied: int = 0
+    #: Calls to the isolation-level consistency check.
+    consistency_checks: int = 0
+    #: Peak size of the exploration work stack (memory-consumption proxy;
+    #: the polynomial-space claim of Theorem 5.1 bounds this).
+    peak_stack: int = 0
+    #: Peak number of events across all histories live on the stack.
+    peak_live_events: int = 0
+    #: Wall-clock seconds for the whole run.
+    seconds: float = 0.0
+    #: Whether the time budget expired before completion.
+    timed_out: bool = False
+
+    def merge(self, other: "ExplorationStats") -> "ExplorationStats":
+        """Pointwise sum/max with another stats object (suite aggregation)."""
+        return ExplorationStats(
+            explore_calls=self.explore_calls + other.explore_calls,
+            end_states=self.end_states + other.end_states,
+            outputs=self.outputs + other.outputs,
+            filtered=self.filtered + other.filtered,
+            blocked=self.blocked + other.blocked,
+            swap_candidates=self.swap_candidates + other.swap_candidates,
+            swaps_applied=self.swaps_applied + other.swaps_applied,
+            consistency_checks=self.consistency_checks + other.consistency_checks,
+            peak_stack=max(self.peak_stack, other.peak_stack),
+            peak_live_events=max(self.peak_live_events, other.peak_live_events),
+            seconds=self.seconds + other.seconds,
+            timed_out=self.timed_out or other.timed_out,
+        )

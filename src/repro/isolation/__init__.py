@@ -1,0 +1,21 @@
+"""Axiomatic isolation levels and consistency checkers (paper §2.2, §3)."""
+
+from .base import IsolationLevel, get_level, registered_levels
+from .levels import CC, RA, RC, SER, SI, TRUE
+from .reference import satisfies_reference, witness_commit_order
+from .axioms import AXIOMS_BY_LEVEL
+
+__all__ = [
+    "IsolationLevel",
+    "get_level",
+    "registered_levels",
+    "TRUE",
+    "RC",
+    "RA",
+    "CC",
+    "SI",
+    "SER",
+    "satisfies_reference",
+    "witness_commit_order",
+    "AXIOMS_BY_LEVEL",
+]

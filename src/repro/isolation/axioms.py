@@ -1,0 +1,144 @@
+"""The axiom schema of the paper (eq. (1), Fig. 2, Fig. A.1).
+
+Every axiom has the shape::
+
+    ∀x ∀t1 ≠ t2 ∀t3.  ⟨t1, t3⟩ ∈ wr_x ∧ t2 writes x ∧ φ(t2, t3/read) ⇒ ⟨t2, t1⟩ ∈ co
+
+where φ varies per isolation level and may mention ``po``/``so``/``wr`` and
+the commit order ``co`` itself.  This module represents axioms as premise
+predicates evaluated against a candidate *total* commit order and provides
+:func:`axiom_instances` (the quantifier expansion) used by the brute-force
+reference checker in :mod:`repro.isolation.reference`.
+
+Premises that do not mention ``co`` (Read Committed, Read Atomic, Causal
+Consistency) admit the polynomial saturation check of
+:mod:`repro.isolation.saturation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Tuple
+
+from ..core.events import Event, TxnId
+from ..core.history import History
+
+#: Position of each transaction in a candidate total commit order.
+CoPositions = Mapping[TxnId, int]
+
+#: φ(history, co_positions, t2, read_event) — the read event identifies both
+#: t3 = tr(read) and the variable x = var(read).
+Premise = Callable[[History, CoPositions, TxnId, Event], bool]
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A named instance of the axiom schema."""
+
+    name: str
+    premise: Premise
+    #: True when the premise never inspects ``co`` (enables saturation).
+    co_free: bool
+
+
+def axiom_instances(history: History) -> Iterator[Tuple[TxnId, TxnId, Event]]:
+    """Expand the quantifiers of the schema for ``history``.
+
+    Yields triples ``(t1, t2, read)`` with ``⟨t1, tr(read)⟩ ∈ wr_x``,
+    ``t2 writes x`` and ``t1 ≠ t2``.  Aborted transactions never appear as
+    ``t1`` or ``t2`` because their ``writes`` set is empty (§2.2.1).
+    """
+    writers: Dict[str, List[TxnId]] = {}
+    for read, t1 in history.wr.items():
+        event = history.event(read)
+        var = event.var
+        if var not in writers:
+            writers[var] = history.writers_of(var)
+        for t2 in writers[var]:
+            if t2 != t1:
+                yield t1, t2, event
+
+
+def _wr_po_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Read Committed: ⟨t2, read⟩ ∈ wr ∘ po.
+
+    Some event po-before the read, in the same transaction, reads from t2.
+    """
+    t3 = read.eid.txn
+    log = history.txns[t3]
+    for earlier in log.events[: read.eid.pos]:
+        if earlier.is_external_read and history.wr.get(earlier.eid) == t2:
+            return True
+    return False
+
+
+def _so_wr_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Read Atomic: ⟨t2, t3⟩ ∈ so ∪ wr (one step)."""
+    t3 = read.eid.txn
+    return history.so_before(t2, t3) or history.wr_edge(t2, t3)
+
+
+def _causal_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Causal Consistency: ⟨t2, t3⟩ ∈ (so ∪ wr)+."""
+    return history.causally_before(t2, read.eid.txn)
+
+
+def _ser_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Serializability: ⟨t2, t3⟩ ∈ co."""
+    return co[t2] < co[read.eid.txn]
+
+
+def _prefix_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Prefix (half of SI): ⟨t2, t3⟩ ∈ co* ∘ (wr ∪ so)."""
+    t3 = read.eid.txn
+    for t4 in history.txns:
+        if t4 == t3:
+            continue
+        if co[t2] <= co[t4] and (history.so_before(t4, t3) or history.wr_edge(t4, t3)):
+            return True
+    return False
+
+
+def _conflict_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Conflict (other half of SI).
+
+    t3 writes some y also written by a t4 with ⟨t2, t4⟩ ∈ co* and
+    ⟨t4, t3⟩ ∈ co.
+    """
+    t3 = read.eid.txn
+    t3_writes = history.txns[t3].writes()
+    if not t3_writes:
+        return False
+    for var in t3_writes:
+        for t4 in history.writers_of(var):
+            if t4 != t3 and co[t2] <= co[t4] and co[t4] < co[t3]:
+                return True
+    return False
+
+
+READ_COMMITTED_AXIOM = Axiom("Read Committed", _wr_po_premise, co_free=True)
+READ_ATOMIC_AXIOM = Axiom("Read Atomic", _so_wr_premise, co_free=True)
+CAUSAL_AXIOM = Axiom("Causal", _causal_premise, co_free=True)
+SERIALIZABILITY_AXIOM = Axiom("Serializability", _ser_premise, co_free=False)
+PREFIX_AXIOM = Axiom("Prefix", _prefix_premise, co_free=False)
+CONFLICT_AXIOM = Axiom("Conflict", _conflict_premise, co_free=False)
+
+#: Axiom sets per level name, as in Fig. 2 / Fig. A.1.
+AXIOMS_BY_LEVEL: Dict[str, Tuple[Axiom, ...]] = {
+    "RC": (READ_COMMITTED_AXIOM,),
+    "RA": (READ_ATOMIC_AXIOM,),
+    "CC": (CAUSAL_AXIOM,),
+    "SI": (PREFIX_AXIOM, CONFLICT_AXIOM),
+    "SER": (SERIALIZABILITY_AXIOM,),
+    "TRUE": (),
+}
+
+
+def axioms_hold(history: History, co_order: Tuple[TxnId, ...], axioms: Tuple[Axiom, ...]) -> bool:
+    """Evaluate ``⟨h, co⟩ ⊨ axioms`` for a *total* commit order ``co_order``."""
+    co: Dict[TxnId, int] = {tid: i for i, tid in enumerate(co_order)}
+    for t1, t2, read in axiom_instances(history):
+        for axiom in axioms:
+            if axiom.premise(history, co, t2, read) and not co[t2] < co[t1]:
+                return False
+    return True

@@ -1,0 +1,92 @@
+"""Isolation-level interface and registry (paper §2.2.2, §3).
+
+An isolation level is defined by a set of axioms over histories: a history
+satisfies the level iff there is a strict total *commit order* ``co``
+extending ``so ∪ wr`` such that the axioms hold (Def. 2.2).
+
+Each concrete level exposes:
+
+* :meth:`IsolationLevel.satisfies` — the (efficient) consistency check used
+  by the model-checking algorithms;
+* :attr:`IsolationLevel.prefix_closed` / :attr:`IsolationLevel.causally_extensible`
+  — the §3 properties that determine which DPOR algorithm applies;
+* :attr:`IsolationLevel.strength` — position in the weaker-than order
+  RC < RA < CC < SI < SER (§2.2.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+from ..core.history import History
+
+
+class IsolationLevel(abc.ABC):
+    """Abstract isolation level."""
+
+    #: Short name, e.g. ``"CC"``.
+    name: str = ""
+    #: Whether every prefix of a consistent history is consistent (Def. 3.1).
+    prefix_closed: bool = True
+    #: Whether (so ∪ wr)+-maximal pending transactions can always be extended
+    #: consistently (Def. 3.3).
+    causally_extensible: bool = False
+    #: Rank in the weaker-than order; larger = stronger.
+    strength: int = 0
+
+    @abc.abstractmethod
+    def satisfies(self, history: History) -> bool:
+        """Whether ``history`` is consistent with this level."""
+
+    def is_weaker_than(self, other: "IsolationLevel") -> bool:
+        """Whether every history consistent with ``self``... includes equality.
+
+        The registry's levels form a chain, so strength ranks decide this.
+        """
+        return self.strength <= other.strength
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IsolationLevel {self.name}>"
+
+
+_REGISTRY: Dict[str, IsolationLevel] = {}
+
+
+def register(level: IsolationLevel) -> IsolationLevel:
+    """Add a level instance to the global registry (keyed by name)."""
+    _REGISTRY[level.name.upper()] = level
+    return level
+
+
+def get_level(name: str) -> IsolationLevel:
+    """Look up a registered level by (case-insensitive) name.
+
+    Accepted names: ``RC``, ``RA``, ``CC``, ``SI``, ``SER``, ``TRUE`` plus
+    the long aliases (``read committed`` etc.).
+    """
+    key = _ALIASES.get(name.strip().lower(), name.strip().upper())
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(f"unknown isolation level {name!r}; known: {sorted(_REGISTRY)}") from None
+
+
+def registered_levels() -> List[IsolationLevel]:
+    return sorted(_REGISTRY.values(), key=lambda l: l.strength)
+
+
+_ALIASES = {
+    "read committed": "RC",
+    "read-committed": "RC",
+    "read atomic": "RA",
+    "read-atomic": "RA",
+    "repeatable read": "RA",
+    "causal": "CC",
+    "causal consistency": "CC",
+    "snapshot": "SI",
+    "snapshot isolation": "SI",
+    "serializability": "SER",
+    "serializable": "SER",
+    "trivial": "TRUE",
+}

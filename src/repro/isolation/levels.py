@@ -1,0 +1,98 @@
+"""Concrete isolation levels: RC, RA, CC, SI, SER and the trivial level.
+
+Properties asserted here (prefix closure, causal extensibility, relative
+strength) are the statements of Theorems 3.2 and 3.4 of the paper; the test
+suite re-verifies them empirically on generated histories.
+"""
+
+from __future__ import annotations
+
+from ..core.history import History
+from .axioms import AXIOMS_BY_LEVEL
+from .base import IsolationLevel, register
+from .saturation import satisfies_by_saturation
+from .serializability import satisfies_ser
+from .snapshot import satisfies_si
+
+
+class TrivialLevel(IsolationLevel):
+    """The level ``true`` where every (well-formed) history is consistent.
+
+    Used as the weakest exploration level for ``explore-ce*(true, I)``
+    (§7.3).  It is vacuously prefix-closed and causally extensible.
+    """
+
+    name = "TRUE"
+    prefix_closed = True
+    causally_extensible = True
+    strength = 0
+
+    def satisfies(self, history: History) -> bool:
+        return history.is_so_wr_acyclic()
+
+
+class _SaturationLevel(IsolationLevel):
+    """Shared implementation for the co-free-axiom levels (RC, RA, CC)."""
+
+    prefix_closed = True
+    causally_extensible = True
+
+    def satisfies(self, history: History) -> bool:
+        return satisfies_by_saturation(history, AXIOMS_BY_LEVEL[self.name])
+
+
+class ReadCommitted(_SaturationLevel):
+    """Read Committed (Fig. A.1(a))."""
+
+    name = "RC"
+    strength = 1
+
+
+class ReadAtomic(_SaturationLevel):
+    """Read Atomic, a.k.a. Repeatable Read (Fig. A.1(b))."""
+
+    name = "RA"
+    strength = 2
+
+
+class CausalConsistency(_SaturationLevel):
+    """Causal Consistency (Fig. 2(a))."""
+
+    name = "CC"
+    strength = 3
+
+
+class SnapshotIsolation(IsolationLevel):
+    """Snapshot Isolation = Prefix ∧ Conflict (Fig. 2(b,c)).
+
+    Not causally extensible (Fig. 6), hence checked via the filtering
+    algorithm ``explore-ce*`` rather than ``explore-ce`` (§6).
+    """
+
+    name = "SI"
+    prefix_closed = True
+    causally_extensible = False
+    strength = 4
+
+    def satisfies(self, history: History) -> bool:
+        return satisfies_si(history)
+
+
+class Serializability(IsolationLevel):
+    """Serializability (Fig. 2(d)); not causally extensible (Fig. 6)."""
+
+    name = "SER"
+    prefix_closed = True
+    causally_extensible = False
+    strength = 5
+
+    def satisfies(self, history: History) -> bool:
+        return satisfies_ser(history)
+
+
+TRUE = register(TrivialLevel())
+RC = register(ReadCommitted())
+RA = register(ReadAtomic())
+CC = register(CausalConsistency())
+SI = register(SnapshotIsolation())
+SER = register(Serializability())

@@ -1,0 +1,38 @@
+"""Brute-force reference consistency checker.
+
+Implements Def. 2.2 literally: a history satisfies an isolation level iff
+*some* strict total order ``co`` extending ``so ∪ wr`` satisfies the level's
+axioms.  Enumerates every topological extension — exponential, so this is
+only used on small histories, as the ground truth that the efficient
+checkers (:mod:`repro.isolation.saturation`,
+:mod:`repro.isolation.serializability`, :mod:`repro.isolation.snapshot`) are
+validated against in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.events import TxnId
+from ..core.history import History
+from ..core.relations import topological_orders
+from .axioms import AXIOMS_BY_LEVEL, Axiom, axioms_hold
+
+
+def witness_commit_order(history: History, axioms: Tuple[Axiom, ...]) -> Optional[Tuple[TxnId, ...]]:
+    """A total commit order satisfying ``axioms``, or None if none exists."""
+    if not history.is_so_wr_acyclic():
+        return None
+    adjacency = history.so_wr_adjacency()
+    for order in topological_orders(adjacency):
+        if axioms_hold(history, order, axioms):
+            return order
+    return None
+
+
+def satisfies_reference(history: History, level_name: str) -> bool:
+    """Ground-truth consistency check by exhaustive commit-order search."""
+    axioms = AXIOMS_BY_LEVEL[level_name.upper()]
+    if not axioms:
+        return history.is_so_wr_acyclic()
+    return witness_commit_order(history, axioms) is not None

@@ -1,0 +1,38 @@
+"""The bounded transactional programming language of the paper (Fig. 1)."""
+
+from .ast import Abort, Assign, Body, If, Instr, Read, Write, abort, assign, if_, read, write
+from .expr import Const, Expr, Fn, L, Local, concat, contains, fn, set_add, set_remove, to_expr
+from .program import Program, ProgramBuilder, Transaction
+
+__all__ = [
+    "Abort",
+    "Assign",
+    "Body",
+    "If",
+    "Instr",
+    "Read",
+    "Write",
+    "abort",
+    "assign",
+    "if_",
+    "read",
+    "write",
+    "Const",
+    "Expr",
+    "Fn",
+    "L",
+    "Local",
+    "concat",
+    "contains",
+    "fn",
+    "set_add",
+    "set_remove",
+    "to_expr",
+    "Program",
+    "ProgramBuilder",
+    "Transaction",
+]
+
+from .parser import ParseError, parse_program, parse_transaction
+
+__all__ += ["ParseError", "parse_program", "parse_transaction"]

@@ -1,0 +1,191 @@
+"""Expression language over local variables (paper Fig. 1).
+
+The paper leaves the syntax of expressions ``e`` and Boolean conditions
+``φ(ā)`` unspecified; we provide a small, deterministic, side-effect-free
+expression tree with Python operator overloading for ergonomic program
+construction::
+
+    L("a") + 1            # arithmetic
+    L("a") == 3           # comparison (builds an Expr, not a bool!)
+    (L("a") > 0) & flag   # conjunction — use &/| (not `and`/`or`)
+    contains(L("s"), 5)   # membership
+    fn("len", lambda s: len(s), L("s"))
+
+Values are required to be hashable (they are stored on events); tuples and
+``frozenset`` are the idiomatic containers for modelling SQL-style sets.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Dict, Hashable, Tuple, Union
+
+Env = Dict[str, Hashable]
+
+
+class Expr:
+    """Base class of expression trees; subclasses implement :meth:`evaluate`."""
+
+    def evaluate(self, env: Env) -> Hashable:
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return BinOp("+", operator.add, self, to_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return BinOp("+", operator.add, to_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return BinOp("-", operator.sub, self, to_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return BinOp("-", operator.sub, to_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return BinOp("*", operator.mul, self, to_expr(other))
+
+    def __eq__(self, other: object) -> "Expr":  # type: ignore[override]
+        return BinOp("==", operator.eq, self, to_expr(other))
+
+    def __ne__(self, other: object) -> "Expr":  # type: ignore[override]
+        return BinOp("!=", operator.ne, self, to_expr(other))
+
+    def __lt__(self, other: "ExprLike") -> "Expr":
+        return BinOp("<", operator.lt, self, to_expr(other))
+
+    def __le__(self, other: "ExprLike") -> "Expr":
+        return BinOp("<=", operator.le, self, to_expr(other))
+
+    def __gt__(self, other: "ExprLike") -> "Expr":
+        return BinOp(">", operator.gt, self, to_expr(other))
+
+    def __ge__(self, other: "ExprLike") -> "Expr":
+        return BinOp(">=", operator.ge, self, to_expr(other))
+
+    def __and__(self, other: "ExprLike") -> "Expr":
+        return BinOp("and", lambda a, b: bool(a) and bool(b), self, to_expr(other))
+
+    def __or__(self, other: "ExprLike") -> "Expr":
+        return BinOp("or", lambda a, b: bool(a) or bool(b), self, to_expr(other))
+
+    def __invert__(self) -> "Expr":
+        return UnOp("not", operator.not_, self)
+
+    # Expr overloads __eq__, so instances must stay unhashable-by-identity
+    # to avoid silently using structural comparison in sets.
+    __hash__ = None  # type: ignore[assignment]
+
+
+ExprLike = Union[Expr, Hashable]
+
+
+class Const(Expr):
+    """A literal value."""
+
+    def __init__(self, value: Hashable):
+        self.value = value
+
+    def evaluate(self, env: Env) -> Hashable:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Local(Expr):
+    """Reference to a local variable (``LVars`` of the paper)."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env: Env) -> Hashable:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise NameError(f"local variable {self.name!r} used before assignment") from None
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class BinOp(Expr):
+    """Binary operation, with a printable symbol."""
+
+    def __init__(self, symbol: str, fn: Callable[[Any, Any], Hashable], left: Expr, right: Expr):
+        self.symbol = symbol
+        self.fn = fn
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Env) -> Hashable:
+        return self.fn(self.left.evaluate(env), self.right.evaluate(env))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class UnOp(Expr):
+    """Unary operation."""
+
+    def __init__(self, symbol: str, fn: Callable[[Any], Hashable], operand: Expr):
+        self.symbol = symbol
+        self.fn = fn
+        self.operand = operand
+
+    def evaluate(self, env: Env) -> Hashable:
+        return self.fn(self.operand.evaluate(env))
+
+    def __repr__(self) -> str:
+        return f"{self.symbol}({self.operand!r})"
+
+
+class Fn(Expr):
+    """Arbitrary deterministic function of sub-expressions."""
+
+    def __init__(self, name: str, fn: Callable[..., Hashable], *args: ExprLike):
+        self.name = name
+        self.fn = fn
+        self.args: Tuple[Expr, ...] = tuple(to_expr(a) for a in args)
+
+    def evaluate(self, env: Env) -> Hashable:
+        return self.fn(*(a.evaluate(env) for a in self.args))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(map(repr, self.args))})"
+
+
+def to_expr(value: ExprLike) -> Expr:
+    """Lift a plain value to :class:`Const`; pass expressions through."""
+    return value if isinstance(value, Expr) else Const(value)
+
+
+def L(name: str) -> Local:
+    """Shorthand constructor for a local-variable reference."""
+    return Local(name)
+
+
+def fn(name: str, callable_: Callable[..., Hashable], *args: ExprLike) -> Fn:
+    """Shorthand constructor for :class:`Fn`."""
+    return Fn(name, callable_, *args)
+
+
+def contains(container: ExprLike, item: ExprLike) -> Expr:
+    """``item in container`` as an expression."""
+    return Fn("contains", lambda c, i: i in c, container, item)
+
+
+def set_add(container: ExprLike, item: ExprLike) -> Expr:
+    """``container ∪ {item}`` over frozensets (SQL INSERT modelling)."""
+    return Fn("set_add", lambda c, i: frozenset(c) | {i}, container, item)
+
+
+def set_remove(container: ExprLike, item: ExprLike) -> Expr:
+    """``container \\ {item}`` over frozensets (SQL DELETE modelling)."""
+    return Fn("set_remove", lambda c, i: frozenset(c) - {i}, container, item)
+
+
+def concat(prefix: ExprLike, suffix: ExprLike) -> Expr:
+    """String concatenation — used to compute dynamic variable names."""
+    return Fn("concat", lambda a, b: f"{a}{b}", prefix, suffix)

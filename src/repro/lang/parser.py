@@ -1,0 +1,286 @@
+"""A parser for the concrete syntax of the paper's language (Fig. 1).
+
+Grammar (whitespace-insensitive; ``//`` line comments)::
+
+    program  ::= session+
+    session  ::= "session" IDENT "{" transaction+ "}"
+    transaction ::= "transaction" [IDENT] "{" instr* "}"
+    instr    ::= IDENT ":=" "read" "(" var ")" ";"
+               | "write" "(" var "," expr ")" ";"
+               | IDENT ":=" expr ";"
+               | "if" "(" expr ")" block ["else" block]
+               | "abort" ";"
+    block    ::= "{" instr* "}"
+    var      ::= IDENT                       -- global variable name
+    expr     ::= comparison (("&&" | "||") comparison)*
+    comparison ::= sum [("==" | "!=" | "<=" | ">=" | "<" | ">") sum]
+    sum      ::= term (("+" | "-") term)*
+    term     ::= atom ("*" atom)*
+    atom     ::= NUMBER | IDENT | "!" atom | "(" expr ")"
+
+Inside expressions, identifiers refer to *local* variables.  Example::
+
+    session alice {
+      transaction deposit {
+        a := read(acct);
+        write(acct, a + 100);
+      }
+    }
+    session bob {
+      transaction audit {
+        b := read(acct);
+        if (b < 0) { abort; }
+      }
+    }
+
+``parse_program(text)`` returns a :class:`~repro.lang.program.Program`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .ast import Abort, Assign, If, Instr, Read, Write
+from .expr import BinOp, Const, Expr, Local, UnOp, to_expr
+from .program import Program, Transaction
+
+
+class ParseError(ValueError):
+    """Syntax error, with 1-based line/column of the offending token."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>:=|==|!=|<=|>=|&&|\|\||[{}();,<>+\-*!])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({"session", "transaction", "read", "write", "if", "else", "abort"})
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind  # "number" | "ident" | "op" | "eof"
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}:{self.text!r}@{self.line}:{self.column}"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line, pos - line_start + 1)
+        if match.lastgroup != "ws":
+            tokens.append(
+                _Token(match.lastgroup, match.group(), line, match.start() - line_start + 1)
+            )
+        newlines = match.group().count("\n")
+        if newlines:
+            line += newlines
+            line_start = match.start() + match.group().rindex("\n") + 1
+        pos = match.end()
+    tokens.append(_Token("eof", "", line, pos - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def _error(self, message: str) -> ParseError:
+        tok = self.current
+        got = tok.text or "end of input"
+        return ParseError(f"{message}, got {got!r}", tok.line, tok.column)
+
+    def accept(self, text: str) -> bool:
+        if self.current.text == text and self.current.kind in ("op", "ident"):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> _Token:
+        if not self.accept(text):
+            raise self._error(f"expected {text!r}")
+        return self.tokens[self.pos - 1]
+
+    def expect_ident(self, what: str) -> str:
+        tok = self.current
+        if tok.kind != "ident" or tok.text in _KEYWORDS:
+            raise self._error(f"expected {what}")
+        self.pos += 1
+        return tok.text
+
+    # -- grammar --------------------------------------------------------------
+
+    def program(self, name: str) -> Program:
+        sessions = {}
+        while self.current.kind != "eof":
+            sid, txns = self.session()
+            if sid in sessions:
+                raise self._error(f"duplicate session {sid!r}")
+            sessions[sid] = txns
+        if not sessions:
+            raise self._error("expected at least one session")
+        return Program(sessions, name=name)
+
+    def session(self) -> Tuple[str, List[Transaction]]:
+        self.expect("session")
+        sid = self.expect_ident("session name")
+        self.expect("{")
+        txns: List[Transaction] = []
+        while not self.accept("}"):
+            txns.append(self.transaction(default_name=f"txn{len(txns)}"))
+        if not txns:
+            raise self._error("session needs at least one transaction")
+        return sid, txns
+
+    def transaction(self, default_name: str) -> Transaction:
+        self.expect("transaction")
+        if self.current.kind == "ident" and self.current.text != "{" and self.current.text not in _KEYWORDS:
+            name = self.expect_ident("transaction name")
+        else:
+            name = default_name
+        body = self.block()
+        return Transaction(name, tuple(body))
+
+    def block(self) -> List[Instr]:
+        self.expect("{")
+        instrs: List[Instr] = []
+        while not self.accept("}"):
+            instrs.append(self.instruction())
+        return instrs
+
+    def instruction(self) -> Instr:
+        if self.accept("abort"):
+            self.expect(";")
+            return Abort()
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.expression()
+            self.expect(")")
+            then = self.block()
+            orelse: List[Instr] = []
+            if self.accept("else"):
+                orelse = self.block()
+            return If(cond, tuple(then), tuple(orelse))
+        if self.accept("write"):
+            self.expect("(")
+            var = self.expect_ident("global variable")
+            self.expect(",")
+            value = self.expression()
+            self.expect(")")
+            self.expect(";")
+            return Write(var, value)
+        target = self.expect_ident("local variable")
+        self.expect(":=")
+        if self.accept("read"):
+            self.expect("(")
+            var = self.expect_ident("global variable")
+            self.expect(")")
+            self.expect(";")
+            return Read(target, var)
+        value = self.expression()
+        self.expect(";")
+        return Assign(target, value)
+
+    # -- expressions (precedence climbing) ------------------------------------------
+
+    def expression(self) -> Expr:
+        left = self.comparison()
+        while True:
+            if self.accept("&&"):
+                left = left & self.comparison()
+            elif self.accept("||"):
+                left = left | self.comparison()
+            else:
+                return left
+
+    def comparison(self) -> Expr:
+        left = self.sum()
+        for symbol in ("==", "!=", "<=", ">=", "<", ">"):
+            if self.accept(symbol):
+                right = self.sum()
+                return {
+                    "==": left == right,
+                    "!=": left != right,
+                    "<=": left <= right,
+                    ">=": left >= right,
+                    "<": left < right,
+                    ">": left > right,
+                }[symbol]
+        return left
+
+    def sum(self) -> Expr:
+        left = self.term()
+        while True:
+            if self.accept("+"):
+                left = left + self.term()
+            elif self.accept("-"):
+                left = left - self.term()
+            else:
+                return left
+
+    def term(self) -> Expr:
+        left = self.atom()
+        while self.accept("*"):
+            left = left * self.atom()
+        return left
+
+    def atom(self) -> Expr:
+        if self.accept("!"):
+            return ~self.atom()
+        if self.accept("("):
+            inner = self.expression()
+            self.expect(")")
+            return inner
+        tok = self.current
+        if tok.kind == "number":
+            self.pos += 1
+            return Const(int(tok.text))
+        if tok.kind == "ident" and tok.text not in _KEYWORDS:
+            self.pos += 1
+            return Local(tok.text)
+        raise self._error("expected an expression")
+
+
+def parse_program(text: str, name: str = "program") -> Program:
+    """Parse the concrete syntax into a :class:`Program`."""
+    return _Parser(text).program(name)
+
+
+def parse_transaction(text: str, name: str = "txn") -> Transaction:
+    """Parse a bare instruction block (``{...}`` optional) as one transaction."""
+    stripped = text.strip()
+    if not stripped.startswith("{"):
+        stripped = "{" + stripped + "}"
+    parser = _Parser(stripped)
+    body = parser.block()
+    if parser.current.kind != "eof":
+        raise parser._error("trailing input after transaction body")
+    return Transaction(name, tuple(body))

@@ -1,0 +1,34 @@
+"""Operational semantics (paper §2.3, Appendix B) and the DFS baseline."""
+
+from .executor import AbortOp, CommitOp, Operation, ReadOp, ReplayMismatch, WriteOp, final_env, next_operation
+from .scheduler import (
+    NextAction,
+    apply_action,
+    extend_history,
+    next_action,
+    pending_transaction,
+    unstarted_transactions,
+    valid_writes,
+)
+from .enumerate import EnumerationResult, ExplorationTimeout, enumerate_histories
+
+__all__ = [
+    "AbortOp",
+    "CommitOp",
+    "Operation",
+    "ReadOp",
+    "ReplayMismatch",
+    "WriteOp",
+    "final_env",
+    "next_operation",
+    "NextAction",
+    "apply_action",
+    "extend_history",
+    "next_action",
+    "pending_transaction",
+    "unstarted_transactions",
+    "valid_writes",
+    "EnumerationResult",
+    "ExplorationTimeout",
+    "enumerate_histories",
+]

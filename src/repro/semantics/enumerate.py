@@ -1,0 +1,122 @@
+"""Exhaustive stateless enumeration of program histories — ``DFS(I)``.
+
+This is the baseline algorithm of the paper's evaluation (§7.3): a standard
+depth-first traversal of the operational semantics of §2.3, restricted (for
+fairness, like the paper) so that at most one transaction is pending at any
+time.  It branches over
+
+* which session starts the next transaction (all interleavings!), and
+* which committed transaction each external read reads from (ValidWrites);
+
+so unlike the DPOR algorithms it typically visits the *same history* many
+times.  It doubles as the ground-truth enumerator for the completeness and
+optimality tests: ``hist_I(P)`` is exactly the set of distinct histories it
+reaches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.canonical import HistorySet
+from ..core.events import EventType
+from ..core.history import History
+from ..isolation.base import IsolationLevel
+from ..lang.program import Program
+from .scheduler import (
+    NextAction,
+    extend_history,
+    next_action,
+    pending_transaction,
+    unstarted_transactions,
+    valid_writes,
+)
+
+
+class ExplorationTimeout(Exception):
+    """Raised when an enumeration/exploration exceeds its time budget."""
+
+
+@dataclass
+class EnumerationResult:
+    """Outcome of an exhaustive DFS enumeration."""
+
+    histories: HistorySet
+    end_states: int = 0
+    blocked: int = 0
+    steps: int = 0
+    seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def distinct_histories(self) -> int:
+        return len(self.histories)
+
+
+def enumerate_histories(
+    program: Program,
+    level: IsolationLevel,
+    timeout: Optional[float] = None,
+    on_output: Optional[Callable[[History], None]] = None,
+) -> EnumerationResult:
+    """Run ``DFS(level)`` on ``program``.
+
+    ``end_states`` counts leaves of the execution tree (histories *with*
+    duplicates); ``histories`` deduplicates them up to read-from
+    equivalence.  ``blocked`` counts branches where an external read had no
+    valid write to read from (impossible for causally-extensible levels, see
+    Theorem 3.4 — asserted in tests).
+    """
+    result = EnumerationResult(HistorySet())
+    deadline = time.monotonic() + timeout if timeout else None
+
+    def rec(history: History) -> None:
+        result.steps += 1
+        if deadline is not None and result.steps % 64 == 0 and time.monotonic() > deadline:
+            raise ExplorationTimeout
+
+        pending = pending_transaction(history)
+        if pending is None:
+            starts = unstarted_transactions(program, history)
+            startable = [
+                tid for tid in starts if tid.index == len(history.sessions.get(tid.session, ()))
+            ]
+            if not startable:
+                result.end_states += 1
+                result.histories.add(history)
+                if on_output is not None:
+                    on_output(history)
+                return
+            for tid in startable:
+                extended, _ = history.begin_transaction(tid.session)
+                rec(extended)
+            return
+
+        action = next_action(program, history)
+        assert action is not None and action.txn == pending
+        if action.is_external_read:
+            choices = valid_writes(history, action, level)
+            if not choices:
+                result.blocked += 1
+                return
+            for _writer, extended in choices:
+                rec(extended)
+            return
+        extended = extend_history(history, action)
+        if action.kind is EventType.WRITE and not level.satisfies(extended):
+            # The write rule of the semantics (Appendix B) requires the
+            # extension to stay consistent; unreachable for the
+            # causally-extensible levels.
+            result.blocked += 1
+            return
+        rec(extended)
+
+    start = time.monotonic()
+    try:
+        rec(program.initial_history())
+    except ExplorationTimeout:
+        result.timed_out = True
+    result.seconds = time.monotonic() - start
+    return result

@@ -1,0 +1,143 @@
+"""Deterministic transaction execution with resumption by replay.
+
+The DPOR algorithms repeatedly need "the next database operation of this
+pending transaction, given what it has executed so far".  The paper threads
+a ``locals`` map through the exploration for this; we instead *replay* the
+transaction's recorded events through a generator that interprets the body
+(rules if-true/if-false/local of Appendix B happen silently inside), which
+is equivalent because the language is deterministic given read values.
+
+``next_operation(txn, log)`` returns the next :class:`ReadOp`/:class:`WriteOp`
+or the terminal :class:`CommitOp`/:class:`AbortOp`, plus the local-variable
+valuation at that point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Hashable, Optional, Tuple, Union
+
+from ..core.events import Event, EventType
+from ..core.history import TransactionLog
+from ..lang.ast import Abort, Assign, Body, If, Instr, Read, Write, resolve_var
+from ..lang.expr import Env
+from ..lang.program import Transaction
+
+
+@dataclass(frozen=True)
+class ReadOp:
+    """The transaction's next instruction reads global ``var``."""
+
+    var: str
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """The transaction's next instruction writes ``value`` to ``var``."""
+
+    var: str
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class CommitOp:
+    """The body is exhausted: the next event is COMMIT."""
+
+
+@dataclass(frozen=True)
+class AbortOp:
+    """An ``abort`` instruction was reached: the next event is ABORT."""
+
+
+Operation = Union[ReadOp, WriteOp, CommitOp, AbortOp]
+
+
+def _run(instrs: Body, env: Env) -> Generator[Operation, Hashable, bool]:
+    """Interpret a body, yielding DB operations; returns True on abort.
+
+    Read operations receive the observed value via ``send``; write
+    operations receive ``None``.
+    """
+    for instr in instrs:
+        if isinstance(instr, Assign):
+            env[instr.target] = instr.expr.evaluate(env)
+        elif isinstance(instr, Read):
+            value = yield ReadOp(resolve_var(instr.var, env))
+            env[instr.target] = value
+        elif isinstance(instr, Write):
+            yield WriteOp(resolve_var(instr.var, env), instr.expr.evaluate(env))
+        elif isinstance(instr, If):
+            branch = instr.then if instr.cond.evaluate(env) else instr.orelse
+            aborted = yield from _run(branch, env)
+            if aborted:
+                return True
+        elif isinstance(instr, Abort):
+            return True
+        else:  # pragma: no cover - unreachable with the public DSL
+            raise TypeError(f"unknown instruction {instr!r}")
+    return False
+
+
+class ReplayMismatch(AssertionError):
+    """A recorded event does not match the operation the body produces.
+
+    This always indicates a bug in history maintenance (e.g. a Swap that
+    kept events invalidated by a changed read), so it is an assertion-style
+    error rather than a user-facing one.
+    """
+
+
+def next_operation(txn: Transaction, log: TransactionLog) -> Tuple[Operation, Env]:
+    """The next operation of ``txn`` after the events recorded in ``log``.
+
+    ``log`` must be pending; its READ/WRITE events are replayed in program
+    order, then the next pending operation and the locals valuation are
+    returned.
+    """
+    if log.is_complete:
+        raise ValueError(f"transaction {log.tid!r} is complete")
+    env: Env = {}
+    gen = _run(txn.body, env)
+    recorded = [e for e in log.events if e.type in (EventType.READ, EventType.WRITE)]
+
+    def step(send_value: Optional[Hashable], first: bool) -> Optional[Operation]:
+        try:
+            return next(gen) if first else gen.send(send_value)
+        except StopIteration as stop:
+            return AbortOp() if stop.value else None
+
+    op = step(None, first=True)
+    for event in recorded:
+        if op is None or isinstance(op, AbortOp):
+            raise ReplayMismatch(f"{log.tid!r}: body ended before recorded {event!r}")
+        if event.type is EventType.READ:
+            if not isinstance(op, ReadOp) or op.var != event.var:
+                raise ReplayMismatch(f"{log.tid!r}: expected {op!r}, recorded {event!r}")
+            op = step(event.value, first=False)
+        else:
+            if not isinstance(op, WriteOp) or op.var != event.var or op.value != event.value:
+                raise ReplayMismatch(f"{log.tid!r}: expected {op!r}, recorded {event!r}")
+            op = step(None, first=False)
+    if op is None:
+        return CommitOp(), env
+    return op, env
+
+
+def final_env(txn: Transaction, log: TransactionLog) -> Env:
+    """Local-variable valuation of a *complete* transaction log.
+
+    Used for user assertions over final states.
+    """
+    env: Env = {}
+    gen = _run(txn.body, env)
+    recorded = [e for e in log.events if e.type in (EventType.READ, EventType.WRITE)]
+    try:
+        next(gen)
+    except StopIteration:
+        return env
+    for event in recorded:
+        try:
+            gen.send(event.value if event.type is EventType.READ else None)
+        except StopIteration:
+            break
+    return env

@@ -1,0 +1,125 @@
+"""Tests for the benchmark harness (repro.bench) at toy sizes.
+
+The shape assertions here mirror the claims the paper makes about Fig. 14
+and Fig. 15; the full-size runs live under ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench import (
+    ALGORITHMS,
+    FIG14_ALGORITHMS,
+    fig14,
+    fig15_sessions,
+    fig15_transactions,
+    format_table,
+    render_cactus,
+    render_fig14,
+    render_records_table,
+    render_scaling,
+    run_suite,
+)
+from repro.apps import application_suite
+
+
+@pytest.fixture(scope="module")
+def tiny_fig14():
+    return fig14(sessions=2, txns_per_session=1, programs_per_app=2, timeout=30)
+
+
+class TestHarness:
+    def test_algorithm_registry_matches_paper(self):
+        assert list(ALGORITHMS) == list(FIG14_ALGORITHMS)
+
+    def test_run_suite_produces_record_per_pair(self):
+        suite = application_suite(2, 1, programs_per_app=1)
+        records = run_suite(suite, ["CC", "DFS(CC)"], timeout=30)
+        assert set(records) == {"CC", "DFS(CC)"}
+        for per_program in records.values():
+            assert len(per_program) == len(suite)
+
+    def test_records_have_memory_measurements(self):
+        suite = application_suite(2, 1, programs_per_app=1)
+        records = run_suite(suite, ["CC"], timeout=30)
+        for record in records["CC"].values():
+            assert record.peak_heap_bytes > 0
+            assert record.seconds >= 0
+            assert record.row()["program"] == record.program
+
+
+class TestFig14Shape(object):
+    def test_optimal_algorithms_agree_on_history_counts(self, tiny_fig14):
+        """CC, CC+SI filtered counts ≤ CC; RA+CC etc. output the same CC set."""
+        records = tiny_fig14.records
+        for program in records["CC"]:
+            cc = records["CC"][program]
+            for other in ("RA+CC", "RC+CC", "true+CC"):
+                assert records[other][program].histories == cc.histories, (program, other)
+            assert records["CC+SI"][program].histories <= cc.histories
+            assert records["CC+SER"][program].histories <= cc.histories
+
+    def test_end_states_grow_as_base_weakens(self, tiny_fig14):
+        records = tiny_fig14.records
+        for program in records["CC"]:
+            cc = records["CC"][program].end_states
+            ra = records["RA+CC"][program].end_states
+            rc = records["RC+CC"][program].end_states
+            true_ = records["true+CC"][program].end_states
+            assert cc <= ra <= rc <= true_, program
+
+    def test_dfs_visits_at_least_as_many_end_states(self, tiny_fig14):
+        records = tiny_fig14.records
+        for program in records["CC"]:
+            assert records["DFS(CC)"][program].end_states >= records["CC"][program].end_states
+
+    def test_dfs_and_cc_agree_on_distinct_histories(self, tiny_fig14):
+        records = tiny_fig14.records
+        for program in records["CC"]:
+            assert records["DFS(CC)"][program].histories == records["CC"][program].histories
+
+    def test_cactus_series_sorted(self, tiny_fig14):
+        for series in tiny_fig14.time.series.values():
+            assert series == sorted(series)
+
+    def test_strong_optimality_never_blocked(self, tiny_fig14):
+        for algorithm in ("CC", "CC+SI", "CC+SER", "RA+CC", "RC+CC", "true+CC"):
+            for record in tiny_fig14.records[algorithm].values():
+                assert record.blocked == 0, (algorithm, record.program)
+
+
+class TestFig15Shape:
+    def test_sessions_scale_work_not_memory(self):
+        points = fig15_sessions(max_sessions=3, txns_per_session=1, programs_per_app=1, timeout=30)
+        assert [p.size for p in points] == [1, 2, 3]
+        assert points[-1].avg_histories >= points[0].avg_histories
+
+    def test_transactions_scaling(self):
+        points = fig15_transactions(max_txns=3, sessions=2, programs_per_app=1, timeout=30)
+        assert [p.size for p in points] == [1, 2, 3]
+        assert points[-1].avg_seconds >= 0
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "n"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1, "all rows padded to equal width"
+
+    def test_render_cactus_mentions_algorithms(self, tiny_fig14):
+        text = render_cactus(tiny_fig14.time)
+        for algorithm in FIG14_ALGORITHMS:
+            assert algorithm in text
+
+    def test_render_fig14_contains_three_plots(self, tiny_fig14):
+        text = render_fig14(tiny_fig14)
+        assert text.count("cactus[") == 3
+
+    def test_render_records_table(self, tiny_fig14):
+        text = render_records_table(tiny_fig14.records)
+        assert "histories" in text and "end states" in text
+
+    def test_render_scaling(self):
+        points = fig15_sessions(max_sessions=2, txns_per_session=1, programs_per_app=1, timeout=30)
+        text = render_scaling(points, axis="sessions")
+        assert "sessions" in text and "avg time (s)" in text

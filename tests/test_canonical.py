@@ -1,0 +1,74 @@
+"""Unit tests for canonical forms and HistorySet (repro.core.canonical)."""
+
+from repro.core import HistoryBuilder, HistorySet, canonical_key, format_history
+
+
+def two_writer_history(read_from_first: bool):
+    b = HistoryBuilder(["x"])
+    w1 = b.txn("a")
+    w1.write("x", 1)
+    w1.commit()
+    w2 = b.txn("b")
+    w2.write("x", 2)
+    w2.commit()
+    r = b.txn("c")
+    r.read("x", source=w1 if read_from_first else w2)
+    r.commit()
+    return b.build()
+
+
+class TestCanonicalKey:
+    def test_equal_histories_have_equal_keys(self):
+        assert canonical_key(two_writer_history(True)) == canonical_key(two_writer_history(True))
+
+    def test_different_wr_changes_key(self):
+        assert canonical_key(two_writer_history(True)) != canonical_key(two_writer_history(False))
+
+    def test_key_is_hashable(self):
+        hash(canonical_key(two_writer_history(True)))
+
+
+class TestHistorySet:
+    def test_dedupes_read_from_equivalent(self):
+        s = HistorySet()
+        assert s.add(two_writer_history(True)) is True
+        assert s.add(two_writer_history(True)) is False
+        assert len(s) == 1
+        assert s.total_added == 2
+        assert s.duplicates == 1
+
+    def test_distinct_classes_kept(self):
+        s = HistorySet()
+        s.add(two_writer_history(True))
+        s.add(two_writer_history(False))
+        assert len(s) == 2 and s.duplicates == 0
+        assert s.duplicate_classes() == []
+
+    def test_contains(self):
+        s = HistorySet()
+        s.add(two_writer_history(True))
+        assert two_writer_history(True) in s
+        assert two_writer_history(False) not in s
+
+    def test_symmetric_difference(self):
+        left, right = HistorySet(), HistorySet()
+        left.add(two_writer_history(True))
+        right.add(two_writer_history(True))
+        right.add(two_writer_history(False))
+        only_left, only_right = left.symmetric_difference(right)
+        assert not only_left and len(only_right) == 1
+
+    def test_duplicate_classes_reported(self):
+        s = HistorySet()
+        s.add(two_writer_history(True))
+        s.add(two_writer_history(True))
+        assert len(s.duplicate_classes()) == 1
+
+
+class TestFormatHistory:
+    def test_mentions_sessions_reads_and_writes(self):
+        text = format_history(two_writer_history(True))
+        assert "session a" in text and "session c" in text
+        assert "write(x, 1)" in text
+        assert "read(x) = 1" in text
+        assert "<- a/0" in text, "reads are annotated with their wr source"

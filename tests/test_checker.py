@@ -1,0 +1,132 @@
+"""Integration tests for the ModelChecker facade (repro.checking)."""
+
+import pytest
+
+from repro import (
+    Assertion,
+    L,
+    ModelChecker,
+    ProgramBuilder,
+    assertion,
+    check_program,
+    local_equals,
+    local_in,
+)
+from repro.checking.assertions import serializable_outcome
+
+
+def lost_update_program():
+    p = ProgramBuilder("lost-update")
+    for who in ("alice", "bob"):
+        t = p.session(who).transaction("incr")
+        t.read("a", "counter")
+        t.write("counter", L("a") + 1)
+    return p.build()
+
+
+@assertion("someone observed the other's increment")
+def no_lost_update(outcome):
+    return outcome.value("alice", "a") == 1 or outcome.value("bob", "a") == 1
+
+
+class TestAlgorithmSelection:
+    def test_ce_levels_use_explore_ce(self):
+        result = ModelChecker(lost_update_program(), isolation="CC").run()
+        assert result.algorithm == "explore-ce(CC)"
+
+    def test_strong_levels_use_star(self):
+        result = ModelChecker(lost_update_program(), isolation="SER").run()
+        assert result.algorithm == "explore-ce*(CC, SER)"
+
+    def test_custom_base(self):
+        result = ModelChecker(lost_update_program(), isolation="SER", base="RA").run()
+        assert result.algorithm == "explore-ce*(RA, SER)"
+
+    def test_dfs_method(self):
+        result = ModelChecker(lost_update_program(), isolation="CC", method="dfs").run()
+        assert result.algorithm == "DFS(CC)"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            ModelChecker(lost_update_program(), method="bfs")
+
+
+class TestVerdicts:
+    def test_lost_update_found_under_cc(self):
+        result = ModelChecker(lost_update_program(), isolation="CC").run(
+            assertions=[no_lost_update]
+        )
+        assert not result.ok
+        assert result.violations[0].assertion == no_lost_update.name
+
+    def test_lost_update_proven_absent_under_si_and_ser(self):
+        for iso in ("SI", "SER"):
+            result = ModelChecker(lost_update_program(), isolation=iso).run(
+                assertions=[no_lost_update]
+            )
+            assert result.ok, iso
+
+    def test_history_counts(self):
+        cc = ModelChecker(lost_update_program(), isolation="CC").run()
+        ser = ModelChecker(lost_update_program(), isolation="SER").run()
+        assert cc.history_count == 3  # (0,·),(·,0) sources: 3 CC-consistent
+        assert ser.history_count == 2  # the two serial orders
+
+    def test_dfs_agrees_on_distinct_histories(self):
+        dpor = ModelChecker(lost_update_program(), isolation="CC").run()
+        dfs = ModelChecker(lost_update_program(), isolation="CC", method="dfs").run()
+        assert dfs.history_count == dpor.history_count
+
+
+class TestOutcomes:
+    def test_violation_carries_witness(self):
+        result = ModelChecker(lost_update_program(), isolation="CC").run(
+            assertions=[no_lost_update]
+        )
+        witness = result.violations[0].outcome
+        assert witness.value("alice", "a") == 0
+        assert witness.value("bob", "a") == 0
+        assert witness.committed("alice")
+        assert "read(counter)" in witness.describe()
+
+    def test_keep_outcomes_cap(self):
+        result = ModelChecker(lost_update_program(), isolation="CC").run(keep_outcomes=2)
+        assert len(result.outcomes) == 2
+
+    def test_keep_all_outcomes(self):
+        result = ModelChecker(lost_update_program(), isolation="CC").run(keep_outcomes=True)
+        assert len(result.outcomes) == result.history_count
+
+    def test_max_violations_cap(self):
+        never = Assertion("never", lambda outcome: False)
+        result = ModelChecker(lost_update_program(), isolation="CC").run(
+            assertions=[never], max_violations=1
+        )
+        assert len(result.violations) == 1
+        assert not result.ok
+
+
+class TestAssertionHelpers:
+    def test_local_equals(self):
+        check = local_equals("alice", "a", 0)
+        result = ModelChecker(lost_update_program(), isolation="SER").run(assertions=[check])
+        assert not result.ok, "in one serial order alice reads 1"
+
+    def test_local_in(self):
+        check = local_in("alice", "a", [0, 1])
+        result = ModelChecker(lost_update_program(), isolation="CC").run(assertions=[check])
+        assert result.ok
+
+    def test_serializable_outcome_conjunction(self):
+        combined = serializable_outcome(
+            local_in("alice", "a", [0, 1]), local_in("bob", "a", [0, 1])
+        )
+        result = ModelChecker(lost_update_program(), isolation="CC").run(assertions=[combined])
+        assert result.ok
+        assert "and" in combined.name
+
+    def test_summary_mentions_verdict(self):
+        result = check_program(lost_update_program(), "CC", assertions=[no_lost_update])
+        assert "FAIL" in result.summary()
+        clean = check_program(lost_update_program(), "SER", assertions=[no_lost_update])
+        assert "PASS" in clean.summary()

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+session w { transaction { write(x, 2); write(y, 2); } }
+session r { transaction { a := read(x); b := read(y); } }
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "demo.txn"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestCheck:
+    def test_counts_and_stats(self, program_file, capsys):
+        code = main(["check", program_file, "--isolation", "RC"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 histories" in out
+        assert "explore calls" in out
+
+    def test_show_histories(self, program_file, capsys):
+        main(["check", program_file, "--isolation", "CC", "--show-histories"])
+        out = capsys.readouterr().out
+        assert out.count("history #") == 2
+        assert "read(x)" in out
+
+    def test_dfs_method(self, program_file, capsys):
+        main(["check", program_file, "--isolation", "CC", "--method", "dfs"])
+        assert "DFS(CC)" in capsys.readouterr().out
+
+    def test_dot_export(self, program_file, tmp_path, capsys):
+        prefix = str(tmp_path / "h")
+        main(["check", program_file, "--isolation", "SER", "--dot", prefix])
+        assert (tmp_path / "h-0.dot").exists()
+        assert (tmp_path / "h-1.dot").exists()
+        assert "digraph history" in (tmp_path / "h-0.dot").read_text()
+
+    def test_missing_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["check", "/does/not/exist.txn"])
+
+    def test_parse_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.txn"
+        bad.write_text("session { }")
+        with pytest.raises(SystemExit):
+            main(["check", str(bad)])
+
+
+class TestCompare:
+    def test_ladder_output(self, program_file, capsys):
+        code = main(["compare", program_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        for level in ("RC", "RA", "CC", "SI", "SER"):
+            assert level in out
+        assert "anomalies" in out
+
+
+class TestBench:
+    def test_tiny_bench_run(self, capsys):
+        code = main(["bench", "--sessions", "2", "--txns", "1", "--programs", "1", "--timeout", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("cactus[") == 3
+        assert "DFS(CC)" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,56 @@
+"""Unit tests for the DOT renderer (repro.core.dot)."""
+
+from repro.core import HistoryBuilder
+from repro.core.dot import history_to_dot
+
+
+def sample_history():
+    b = HistoryBuilder(["x"])
+    w = b.txn("writer")
+    w.write("x", 1)
+    w.commit()
+    r = b.txn("reader")
+    r.read("x", source=w)
+    r.commit()
+    return b.build()
+
+
+class TestHistoryToDot:
+    def test_is_a_digraph(self):
+        text = history_to_dot(sample_history())
+        assert text.startswith("digraph history {")
+        assert text.rstrip().endswith("}")
+
+    def test_one_cluster_per_transaction(self):
+        text = history_to_dot(sample_history())
+        assert text.count("subgraph cluster_") == 3  # init + writer + reader
+
+    def test_wr_edge_present_with_variable_label(self):
+        text = history_to_dot(sample_history())
+        assert 'label="wr[x]"' in text
+
+    def test_so_edges_from_init(self):
+        text = history_to_dot(sample_history())
+        assert text.count("[label=so") == 2  # init -> writer, init -> reader
+
+    def test_include_init_false_hides_init(self):
+        text = history_to_dot(sample_history(), include_init=False)
+        assert "init" not in text
+        assert text.count("subgraph cluster_") == 2
+
+    def test_title_and_status_rendered(self):
+        text = history_to_dot(sample_history(), title="demo")
+        assert 'label="demo"' in text
+        assert "[committed]" in text
+
+    def test_aborted_status(self):
+        b = HistoryBuilder(["x"])
+        t = b.txn("s")
+        t.write("x", 1)
+        t.abort()
+        text = history_to_dot(b.build())
+        assert "[aborted]" in text
+
+    def test_balanced_braces(self):
+        text = history_to_dot(sample_history())
+        assert text.count("{") == text.count("}")

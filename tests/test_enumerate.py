@@ -1,0 +1,81 @@
+"""Tests for the exhaustive DFS baseline (repro.semantics.enumerate)."""
+
+from repro.isolation import get_level
+from repro.lang import ProgramBuilder
+from repro.semantics import enumerate_histories
+
+from tests.helpers import fig10_program
+
+
+class TestFig10Counts:
+    """Hand-computed history counts for the Fig. 10 reader/writer program."""
+
+    def test_rc_counts(self):
+        result = enumerate_histories(fig10_program(), get_level("RC"))
+        # x/y sources: (init,init), (w,w), (init,w) valid; (w,init) violates RC.
+        assert len(result.histories) == 3
+        assert result.end_states == 4  # serial reader-first leaf is a duplicate
+
+    def test_cc_counts(self):
+        result = enumerate_histories(fig10_program(), get_level("CC"))
+        assert len(result.histories) == 2
+        assert result.end_states == 3
+
+    def test_true_counts(self):
+        result = enumerate_histories(fig10_program(), get_level("TRUE"))
+        assert len(result.histories) == 4
+
+    def test_ser_counts(self):
+        result = enumerate_histories(fig10_program(), get_level("SER"))
+        assert len(result.histories) == 2
+
+
+class TestInvariants:
+    def test_never_blocked_under_causally_extensible_levels(self):
+        for name in ("RC", "RA", "CC", "TRUE"):
+            result = enumerate_histories(fig10_program(), get_level(name))
+            assert result.blocked == 0, name
+
+    def test_all_outputs_consistent(self):
+        for name in ("RC", "CC", "SER"):
+            level = get_level(name)
+            result = enumerate_histories(fig10_program(), level)
+            for history in result.histories:
+                assert level.satisfies(history), name
+
+    def test_all_outputs_are_complete_executions(self):
+        result = enumerate_histories(fig10_program(), get_level("CC"))
+        for history in result.histories:
+            assert not history.pending_transactions()
+            assert len(history.txns) == 3  # init + reader + writer
+
+    def test_stronger_level_yields_subset(self):
+        weak = enumerate_histories(fig10_program(), get_level("CC")).histories
+        strong = enumerate_histories(fig10_program(), get_level("SER")).histories
+        only_strong, _ = strong.symmetric_difference(weak)
+        assert not only_strong
+
+
+class TestTimeout:
+    def test_timeout_flag(self):
+        p = ProgramBuilder("big")
+        for s in range(4):
+            session = p.session(f"s{s}")
+            for _ in range(2):
+                t = session.transaction()
+                t.read("a", "x").write("x", s).read("b", "y").write("y", s)
+        result = enumerate_histories(p.build(), get_level("TRUE"), timeout=0.05)
+        assert result.timed_out
+        assert result.seconds < 5.0
+
+
+class TestSingleSession:
+    def test_sequential_program_has_single_history(self):
+        p = ProgramBuilder("seq")
+        s = p.session("only")
+        s.transaction().write("x", 1)
+        s.transaction().read("a", "x")
+        result = enumerate_histories(p.build(), get_level("CC"))
+        # The read must see the session's own previous write.
+        assert len(result.histories) == 1
+        assert result.end_states == 1

@@ -1,0 +1,59 @@
+"""Unit tests for the event/identifier layer (repro.core.events)."""
+
+from repro.core.events import (
+    INIT_SESSION,
+    INIT_TXN,
+    Event,
+    EventId,
+    EventType,
+    TxnId,
+)
+
+
+class TestTxnId:
+    def test_ordering_is_lexicographic(self):
+        assert TxnId("a", 0) < TxnId("a", 1) < TxnId("b", 0)
+
+    def test_init_detection(self):
+        assert INIT_TXN.is_init
+        assert INIT_TXN.session == INIT_SESSION
+        assert not TxnId("s1", 0).is_init
+
+    def test_hashable_and_equal_by_value(self):
+        assert TxnId("s", 3) == TxnId("s", 3)
+        assert len({TxnId("s", 3), TxnId("s", 3)}) == 1
+
+
+class TestEventId:
+    def test_ordering_follows_po_within_txn(self):
+        t = TxnId("s", 0)
+        assert EventId(t, 0) < EventId(t, 1)
+
+    def test_carries_owner(self):
+        eid = EventId(TxnId("s", 2), 5)
+        assert eid.txn.index == 2 and eid.pos == 5
+
+
+class TestEvent:
+    def test_external_read_flag(self):
+        eid = EventId(TxnId("s", 0), 1)
+        external = Event(eid, EventType.READ, "x", 7)
+        local = Event(eid, EventType.READ, "x", 7, local=True)
+        write = Event(eid, EventType.WRITE, "x", 7)
+        assert external.is_external_read
+        assert not local.is_external_read
+        assert not write.is_external_read
+
+    def test_with_value_preserves_identity(self):
+        eid = EventId(TxnId("s", 0), 1)
+        event = Event(eid, EventType.READ, "x", 1)
+        other = event.with_value(9)
+        assert other.value == 9
+        assert other.eid == eid and other.type is EventType.READ and other.var == "x"
+        assert event.value == 1, "events are immutable"
+
+    def test_begin_commit_have_no_var(self):
+        eid = EventId(TxnId("s", 0), 0)
+        for kind in (EventType.BEGIN, EventType.COMMIT, EventType.ABORT):
+            event = Event(eid, kind)
+            assert event.var is None and event.value is None

@@ -1,0 +1,124 @@
+"""Unit tests for transaction execution and replay (repro.semantics.executor)."""
+
+import pytest
+
+from repro.core.events import Event, EventId, EventType, TxnId
+from repro.core.history import TransactionLog
+from repro.lang import L, Transaction, abort, assign, if_, read, write
+from repro.lang.expr import concat
+from repro.semantics.executor import (
+    AbortOp,
+    CommitOp,
+    ReadOp,
+    ReplayMismatch,
+    WriteOp,
+    final_env,
+    next_operation,
+)
+
+TID = TxnId("s", 0)
+
+
+def log_with(*events):
+    log = TransactionLog.begin(TID)
+    for i, (kind, var, value, *rest) in enumerate(events, start=1):
+        local = rest[0] if rest else False
+        log = log.appended(Event(EventId(TID, i), kind, var, value, local=local))
+    return log
+
+
+class TestNextOperation:
+    def test_fresh_transaction_yields_first_db_op(self):
+        txn = Transaction("t", (assign("a", 1), write("x", L("a") + 1)))
+        op, env = next_operation(txn, TransactionLog.begin(TID))
+        assert op == WriteOp("x", 2)
+        assert env["a"] == 1
+
+    def test_read_then_dependent_write(self):
+        txn = Transaction("t", (read("a", "x"), write("y", L("a") * 10)))
+        log = log_with((EventType.READ, "x", 4))
+        op, env = next_operation(txn, log)
+        assert op == WriteOp("y", 40)
+        assert env["a"] == 4
+
+    def test_exhausted_body_commits(self):
+        txn = Transaction("t", (write("x", 1),))
+        log = log_with((EventType.WRITE, "x", 1))
+        op, _ = next_operation(txn, log)
+        assert op == CommitOp()
+
+    def test_empty_body_commits_immediately(self):
+        op, _ = next_operation(Transaction("t", ()), TransactionLog.begin(TID))
+        assert op == CommitOp()
+
+    def test_abort_instruction(self):
+        txn = Transaction("t", (read("a", "x"), if_(L("a") == 0, then=[abort()]), write("y", 1)))
+        taken = log_with((EventType.READ, "x", 0))
+        op, _ = next_operation(txn, taken)
+        assert op == AbortOp()
+        not_taken = log_with((EventType.READ, "x", 5))
+        op, _ = next_operation(txn, not_taken)
+        assert op == WriteOp("y", 1)
+
+    def test_if_else_branches(self):
+        txn = Transaction(
+            "t",
+            (read("a", "x"), if_(L("a") == 0, then=[write("y", 1)], orelse=[write("z", 2)])),
+        )
+        op, _ = next_operation(txn, log_with((EventType.READ, "x", 0)))
+        assert op == WriteOp("y", 1)
+        op, _ = next_operation(txn, log_with((EventType.READ, "x", 9)))
+        assert op == WriteOp("z", 2)
+
+    def test_dynamic_variable_names(self):
+        txn = Transaction("t", (read("k", "key"), write(concat("row_", L("k")), 1)))
+        op, _ = next_operation(txn, log_with((EventType.READ, "key", 7)))
+        assert op == WriteOp("row_7", 1)
+
+    def test_replay_is_value_sensitive(self):
+        """Replaying a different recorded value changes the continuation."""
+        txn = Transaction("t", (read("a", "x"), if_(L("a") == 1, then=[write("y", 1)])))
+        op1, _ = next_operation(txn, log_with((EventType.READ, "x", 1)))
+        op2, _ = next_operation(txn, log_with((EventType.READ, "x", 2)))
+        assert op1 == WriteOp("y", 1)
+        assert op2 == CommitOp()
+
+    def test_complete_log_rejected(self):
+        log = log_with((EventType.COMMIT, None, None))
+        with pytest.raises(ValueError):
+            next_operation(Transaction("t", ()), log)
+
+    def test_mismatched_recorded_event_raises(self):
+        txn = Transaction("t", (write("x", 1),))
+        log = log_with((EventType.WRITE, "y", 1))
+        with pytest.raises(ReplayMismatch):
+            next_operation(txn, log)
+
+    def test_too_many_recorded_events_raise(self):
+        txn = Transaction("t", (write("x", 1),))
+        log = log_with((EventType.WRITE, "x", 1), (EventType.WRITE, "x", 2))
+        with pytest.raises(ReplayMismatch):
+            next_operation(txn, log)
+
+
+class TestFinalEnv:
+    def test_locals_after_commit(self):
+        txn = Transaction("t", (read("a", "x"), assign("b", L("a") + 1)))
+        log = log_with((EventType.READ, "x", 2), (EventType.COMMIT, None, None))
+        env = final_env(txn, log)
+        assert env == {"a": 2, "b": 3}
+
+    def test_locals_of_aborted_txn(self):
+        txn = Transaction("t", (read("a", "x"), if_(L("a") == 0, then=[abort()]), assign("b", 1)))
+        log = log_with((EventType.READ, "x", 0), (EventType.ABORT, None, None))
+        env = final_env(txn, log)
+        assert env == {"a": 0}, "instructions after abort never ran"
+
+    def test_local_reads_replay_too(self):
+        txn = Transaction("t", (write("x", 5), read("a", "x")))
+        log = log_with(
+            (EventType.WRITE, "x", 5),
+            (EventType.READ, "x", 5, True),
+            (EventType.COMMIT, None, None),
+        )
+        assert final_env(txn, log)["a"] == 5

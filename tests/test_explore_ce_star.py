@@ -1,0 +1,99 @@
+"""Corollary 6.2 end-to-end: explore-ce*(I0, I) is I-sound, I-complete and
+optimal for SI and SER (and any stronger level over a weaker CE base).
+"""
+
+import random
+
+import pytest
+
+from repro.dpor import explore_ce_star
+from repro.isolation import get_level
+from repro.semantics import enumerate_histories
+
+from tests.helpers import PAPER_PROGRAMS, figd1_program, random_program
+
+STRONG = ("SI", "SER")
+
+
+def assert_star_matches(program, base, strong, **kwargs):
+    result = explore_ce_star(program, base, strong, **kwargs)
+    reference = enumerate_histories(program, get_level(strong)).histories
+    only_ref, only_got = reference.symmetric_difference(result.histories)
+    assert not only_ref, f"incomplete for {strong}: {len(only_ref)} missing"
+    assert not only_got, f"unsound for {strong}: {len(only_got)} extra"
+    assert result.histories.duplicates == 0, "optimality"
+    return result
+
+
+@pytest.mark.parametrize("make_program", PAPER_PROGRAMS, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("strong", STRONG)
+def test_paper_programs(make_program, strong):
+    assert_star_matches(make_program(), "CC", strong, check_invariants=True)
+
+
+class TestBases:
+    """Any prefix-closed + CE base below the target level works."""
+
+    @pytest.mark.parametrize("base", ("RC", "RA", "CC", "TRUE"))
+    def test_all_bases_agree_for_ser(self, base):
+        program = figd1_program()
+        result = assert_star_matches(program, base, "SER")
+        assert result.stats.filtered == result.stats.end_states - result.stats.outputs
+
+    def test_weaker_bases_explore_more(self):
+        program = figd1_program()
+        cc_run = explore_ce_star(program, "CC", "SER")
+        true_run = explore_ce_star(program, "TRUE", "SER")
+        assert true_run.stats.end_states >= cc_run.stats.end_states
+        assert set(true_run.histories.keys()) == set(cc_run.histories.keys())
+
+    def test_base_must_be_weaker_than_target(self):
+        with pytest.raises(ValueError):
+            explore_ce_star(figd1_program(), "CC", "RC")
+
+
+class TestFilterSemantics:
+    def test_outputs_are_exactly_valid_end_states(self):
+        program = figd1_program()
+        result = explore_ce_star(program, "CC", "SER")
+        assert result.stats.outputs + result.stats.filtered == result.stats.end_states
+        ser = get_level("SER")
+        for history in result.histories:
+            assert ser.satisfies(history)
+
+    def test_cc_levels_filter_nothing_when_target_is_cc(self):
+        program = figd1_program()
+        result = explore_ce_star(program, "CC", "CC")
+        assert result.stats.filtered == 0
+
+
+class TestTheorem61Program:
+    """The Fig. D.1 program behind the impossibility proof.
+
+    No swapping-based algorithm is strongly optimal for SI/SER — but
+    explore-ce*(CC, ·) must still be sound, complete and plain-optimal on
+    this very program, merely filtering some end states.
+    """
+
+    def test_filtering_actually_happens(self):
+        program = figd1_program()
+        result = explore_ce_star(program, "CC", "SER")
+        assert result.stats.filtered > 0, (
+            "the h-history of Fig. D.1(b) is CC-consistent but not SER: "
+            "a strongly-optimal run would be impossible"
+        )
+
+    def test_si_and_ser_differ_on_fig_d1(self):
+        program = figd1_program()
+        si = explore_ce_star(program, "CC", "SI").distinct_histories
+        ser = explore_ce_star(program, "CC", "SER").distinct_histories
+        assert si >= ser
+
+
+class TestRandomSweep:
+    @pytest.mark.parametrize("seed", range(0, 25))
+    def test_random_programs(self, seed):
+        rng = random.Random(seed * 104729 + 1)
+        program = random_program(rng, name=f"rnd*{seed}")
+        for strong in STRONG:
+            assert_star_matches(program, "CC", strong, check_invariants=True)

@@ -1,0 +1,133 @@
+"""DPOR corner cases: aborts, local reads, multiple reads of one variable,
+and dynamically computed variable names interacting with swaps.
+"""
+
+import pytest
+
+from repro.dpor import explore_ce, explore_ce_star
+from repro.isolation import get_level
+from repro.lang import L, ProgramBuilder, abort
+from repro.lang.expr import concat
+from repro.semantics import enumerate_histories
+
+from tests.helpers import assert_explore_matches_reference
+
+LEVELS = ("RC", "RA", "CC", "TRUE")
+
+
+def check_all_levels(program):
+    for level in LEVELS:
+        result = explore_ce(program, level, check_invariants=True)
+        assert_explore_matches_reference(program, level, result)
+        assert result.stats.blocked == 0
+    for strong in ("SI", "SER"):
+        result = explore_ce_star(program, "CC", strong, check_invariants=True)
+        reference = enumerate_histories(program, get_level(strong)).histories
+        assert set(result.histories.keys()) == set(reference.keys())
+        assert result.histories.duplicates == 0
+
+
+class TestAborts:
+    def test_value_dependent_abort_with_competing_writers(self):
+        """The aborting branch flips as swaps change the read value."""
+        p = ProgramBuilder("abort-flip")
+        t = p.session("s1").transaction()
+        t.read("a", "x").if_(L("a") == 0, then=[abort()]).write("y", 1)
+        p.session("s2").transaction().write("x", 1)
+        p.session("s3").transaction().write("x", 0)
+        check_all_levels(p.build())
+
+    def test_abort_before_any_write(self):
+        p = ProgramBuilder("early-abort")
+        t = p.session("s1").transaction()
+        t.abort()
+        p.session("s2").transaction().write("x", 1)
+        p.session("s3").transaction().read("a", "x")
+        program = p.build()
+        check_all_levels(program)
+        result = explore_ce(program, "CC")
+        # The aborted txn offers nothing to read: only init and s2's write.
+        assert result.distinct_histories == 2
+
+    def test_all_sessions_abort(self):
+        p = ProgramBuilder("all-abort")
+        for s in range(2):
+            t = p.session(f"s{s}").transaction()
+            t.write("x", s).abort()
+        program = p.build()
+        result = explore_ce(program, "CC", check_invariants=True)
+        assert result.distinct_histories == 1, "aborted writes are invisible"
+
+
+class TestLocalReads:
+    def test_local_read_does_not_branch(self):
+        p = ProgramBuilder("local")
+        t = p.session("s1").transaction()
+        t.write("x", 5).read("a", "x").write("y", L("a"))
+        p.session("s2").transaction().write("x", 9)
+        program = p.build()
+        check_all_levels(program)
+        result = explore_ce(program, "CC")
+        # Only ordering freedom: none observable — single history... unless
+        # the other writer is read by nobody: indeed 1 history.
+        assert result.distinct_histories == 1
+
+    def test_read_write_read_same_variable(self):
+        """First read external (branches), second read local (pinned)."""
+        p = ProgramBuilder("rwr")
+        t = p.session("s1").transaction()
+        t.read("a", "x").write("x", L("a") + 1).read("b", "x").write("y", L("b"))
+        p.session("s2").transaction().write("x", 10)
+        check_all_levels(p.build())
+
+
+class TestMultipleReadsSameVariable:
+    def test_two_external_reads_can_diverge_below_ra(self):
+        p = ProgramBuilder("double-read")
+        t = p.session("s1").transaction()
+        t.read("a", "x").read("b", "x")
+        p.session("s2").transaction().write("x", 7)
+        program = p.build()
+        check_all_levels(program)
+        rc = explore_ce(program, "RC").distinct_histories
+        ra = explore_ce(program, "RA").distinct_histories
+        # RC admits (init, init), (init, w), (7 via w, w); RA forbids the mix.
+        assert rc == 3 and ra == 2
+
+
+class TestDynamicVariableNames:
+    def test_row_pointer_chasing_through_swaps(self):
+        """A read determines *which variable* the next access touches; swaps
+        must re-route the suffix consistently (handled by replay)."""
+        p = ProgramBuilder("pointer", extra_variables=["row_0", "row_1"])
+        chaser = p.session("chaser").transaction()
+        chaser.read("k", "ptr")
+        chaser.read("v", concat("row_", L("k")))
+        chaser.write("out", L("v"))
+        p.session("mover").transaction().write("ptr", 1)
+        p.session("filler").transaction().write("row_1", 42)
+        program = p.build()
+        check_all_levels(program)
+
+    def test_dynamic_write_target(self):
+        p = ProgramBuilder("dyn-write", extra_variables=["row_0", "row_1"])
+        t = p.session("s1").transaction()
+        t.read("k", "ptr").write(concat("row_", L("k")), 5)
+        p.session("s2").transaction().write("ptr", 1)
+        p.session("s3").transaction().read("r", "row_1")
+        check_all_levels(p.build())
+
+
+class TestWiderPrograms:
+    @pytest.mark.parametrize("writers,readers", [(3, 1), (1, 3), (2, 2)])
+    def test_reader_writer_grids(self, writers, readers):
+        p = ProgramBuilder(f"grid{writers}x{readers}")
+        for w in range(writers):
+            p.session(f"w{w}").transaction().write("x", w + 1)
+        for r in range(readers):
+            p.session(f"r{r}").transaction().read("a", "x")
+        program = p.build()
+        result = explore_ce(program, "CC", check_invariants=True)
+        assert_explore_matches_reference(program, "CC", result)
+        # Under CC each reader independently picks any writer or init.
+        assert result.distinct_histories == (writers + 1) ** readers

@@ -1,0 +1,73 @@
+"""Hypothesis property tests for the DPOR algorithms.
+
+These complement the seeded sweeps in test_explore_ce*.py with
+shrinking-capable random program generation: any failure minimises to a
+small witness program.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dpor import explore_ce, explore_ce_star
+from repro.isolation import get_level
+from repro.semantics import enumerate_histories
+
+from tests.helpers import random_program
+
+
+@st.composite
+def programs(draw):
+    seed = draw(st.integers(min_value=0, max_value=10**9))
+    return random_program(random.Random(seed), name=f"hyp{seed}")
+
+
+@given(programs(), st.sampled_from(["RC", "RA", "CC", "TRUE"]))
+@settings(max_examples=60, deadline=None)
+def test_explore_ce_is_sound_complete_optimal(program, level_name):
+    reference = enumerate_histories(program, get_level(level_name)).histories
+    result = explore_ce(program, level_name, check_invariants=True)
+    assert set(result.histories.keys()) == set(reference.keys())
+    assert result.histories.duplicates == 0
+    assert result.stats.blocked == 0
+
+
+@given(programs(), st.sampled_from(["SI", "SER"]))
+@settings(max_examples=40, deadline=None)
+def test_explore_ce_star_is_sound_complete_optimal(program, strong):
+    reference = enumerate_histories(program, get_level(strong)).histories
+    result = explore_ce_star(program, "CC", strong, check_invariants=True)
+    assert set(result.histories.keys()) == set(reference.keys())
+    assert result.histories.duplicates == 0
+
+
+@given(programs())
+@settings(max_examples=40, deadline=None)
+def test_every_output_history_is_a_complete_execution(program):
+    result = explore_ce(program, "CC")
+    expected_txns = program.transaction_count() + 1  # + init
+    for history in result.histories:
+        assert not history.pending_transactions()
+        assert len(history.txns) == expected_txns
+        history.validate()
+
+
+@given(programs())
+@settings(max_examples=30, deadline=None)
+def test_exploration_is_deterministic(program):
+    first = explore_ce(program, "CC")
+    second = explore_ce(program, "CC")
+    assert set(first.histories.keys()) == set(second.histories.keys())
+    assert first.stats.explore_calls == second.stats.explore_calls
+
+
+@given(programs())
+@settings(max_examples=30, deadline=None)
+def test_level_hierarchy_on_outputs(program):
+    """hist_SER(P) ⊆ hist_SI(P) ⊆ hist_CC(P) ⊆ hist_RA(P) ⊆ hist_RC(P)."""
+    sets = {}
+    for level in ("RC", "RA", "CC"):
+        sets[level] = set(explore_ce(program, level).histories.keys())
+    for level in ("SI", "SER"):
+        sets[level] = set(explore_ce_star(program, "CC", level).histories.keys())
+    assert sets["SER"] <= sets["SI"] <= sets["CC"] <= sets["RA"] <= sets["RC"]

@@ -1,0 +1,77 @@
+"""Unit tests for the expression language (repro.lang.expr)."""
+
+import pytest
+
+from repro.lang import L, concat, contains, fn, set_add, set_remove, to_expr
+from repro.lang.expr import BinOp, Const, Local
+
+
+class TestBasics:
+    def test_const(self):
+        assert Const(5).evaluate({}) == 5
+
+    def test_local_lookup(self):
+        assert L("a").evaluate({"a": 3}) == 3
+
+    def test_unassigned_local_raises_name_error(self):
+        with pytest.raises(NameError):
+            L("missing").evaluate({})
+
+    def test_to_expr_lifts_values(self):
+        assert isinstance(to_expr(3), Const)
+        expr = L("a")
+        assert to_expr(expr) is expr
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        env = {"a": 10, "b": 4}
+        assert (L("a") + L("b")).evaluate(env) == 14
+        assert (L("a") - 1).evaluate(env) == 9
+        assert (2 + L("b")).evaluate(env) == 6
+        assert (20 - L("b")).evaluate(env) == 16
+        assert (L("a") * 3).evaluate(env) == 30
+
+    def test_comparisons_build_exprs_not_bools(self):
+        cmp = L("a") == 3
+        assert isinstance(cmp, BinOp)
+        assert cmp.evaluate({"a": 3}) is True
+        assert cmp.evaluate({"a": 4}) is False
+
+    def test_ordering_comparisons(self):
+        env = {"a": 5}
+        assert (L("a") < 6).evaluate(env)
+        assert (L("a") <= 5).evaluate(env)
+        assert (L("a") > 4).evaluate(env)
+        assert (L("a") >= 6).evaluate(env) is False
+        assert (L("a") != 4).evaluate(env)
+
+    def test_boolean_connectives(self):
+        env = {"a": 1, "b": 0}
+        assert ((L("a") == 1) & (L("b") == 0)).evaluate(env)
+        assert ((L("a") == 2) | (L("b") == 0)).evaluate(env)
+        assert (~(L("a") == 2)).evaluate(env)
+
+    def test_repr_is_readable(self):
+        assert repr(L("a") + 1) == "(a + 1)"
+
+
+class TestHelpers:
+    def test_fn(self):
+        double = fn("double", lambda v: v * 2, L("a"))
+        assert double.evaluate({"a": 21}) == 42
+        assert "double" in repr(double)
+
+    def test_contains_and_set_ops(self):
+        env = {"s": frozenset({1, 2})}
+        assert contains(L("s"), 1).evaluate(env)
+        assert not contains(L("s"), 5).evaluate(env)
+        assert set_add(L("s"), 5).evaluate(env) == frozenset({1, 2, 5})
+        assert set_remove(L("s"), 1).evaluate(env) == frozenset({2})
+
+    def test_set_ops_return_frozensets(self):
+        grown = set_add(Const(frozenset()), 1).evaluate({})
+        assert isinstance(grown, frozenset), "values must stay hashable"
+
+    def test_concat_builds_dynamic_names(self):
+        assert concat("row_", L("k")).evaluate({"k": 7}) == "row_7"

@@ -1,0 +1,116 @@
+"""Unit tests for the declarative HistoryBuilder (repro.core.hbuilder)."""
+
+import pytest
+
+from repro.core import HistoryBuilder, INIT_TXN
+from repro.core.events import EventType
+
+
+class TestBuilding:
+    def test_reads_resolve_values_from_sources(self):
+        b = HistoryBuilder(["x"])
+        t1 = b.txn("a")
+        t1.write("x", 7)
+        t1.commit()
+        t2 = b.txn("b")
+        t2.read("x", source=t1)
+        t2.commit()
+        h = b.build()
+        read = h.txns[t2.tid].reads()[0]
+        assert read.value == 7
+        assert h.wr[read.eid] == t1.tid
+
+    def test_read_from_init_gets_initial_value(self):
+        b = HistoryBuilder(["x"], initial_value=42)
+        t = b.txn("a")
+        t.read("x", source=b.init)
+        h = b.build()
+        assert h.txns[t.tid].reads()[0].value == 42
+
+    def test_local_read_needs_no_source(self):
+        b = HistoryBuilder(["x"])
+        t = b.txn("a")
+        t.write("x", 3)
+        t.read("x")
+        h = b.build()
+        read = [e for e in h.txns[t.tid].events if e.type is EventType.READ][0]
+        assert read.local and read.value == 3
+        assert read.eid not in h.wr
+
+    def test_forward_declared_source(self):
+        """Sources may be declared in any order as long as build-time resolves."""
+        b = HistoryBuilder(["x"])
+        t2 = b.txn("b")
+        w = b.txn("a")
+        w.write("x", 1)
+        w.commit()
+        t2.read("x", source=w)
+        t2.commit()
+        h = b.build()
+        assert h.wr[h.txns[t2.tid].reads()[0].eid] == w.tid
+
+    def test_auto_commit_default(self):
+        b = HistoryBuilder(["x"])
+        t = b.txn("a")
+        t.write("x", 1)
+        h = b.build()
+        assert h.txns[t.tid].is_committed
+
+    def test_pending_without_auto_commit(self):
+        b = HistoryBuilder(["x"])
+        t = b.txn("a")
+        t.write("x", 1)
+        h = b.build(auto_commit=False)
+        assert h.txns[t.tid].is_pending
+
+    def test_session_order(self):
+        b = HistoryBuilder(["x"])
+        first = b.txn("s")
+        first.commit()
+        second = b.txn("s")
+        second.commit()
+        h = b.build()
+        assert h.sessions["s"] == (first.tid, second.tid)
+        assert h.so_before(first.tid, second.tid)
+
+
+class TestBuilderErrors:
+    def test_external_read_requires_source(self):
+        b = HistoryBuilder(["x"])
+        t = b.txn("a")
+        with pytest.raises(ValueError):
+            t.read("x")
+
+    def test_local_read_rejects_source(self):
+        b = HistoryBuilder(["x"])
+        t = b.txn("a")
+        t.write("x", 1)
+        with pytest.raises(ValueError):
+            t.read("x", source=b.init)
+
+    def test_cannot_extend_completed_txn(self):
+        b = HistoryBuilder(["x"])
+        t = b.txn("a")
+        t.commit()
+        with pytest.raises(ValueError):
+            t.write("x", 1)
+
+    def test_source_must_write_variable(self):
+        b = HistoryBuilder(["x", "y"])
+        w = b.txn("a")
+        w.write("x", 1)
+        w.commit()
+        r = b.txn("b")
+        r.read("y", source=w)
+        with pytest.raises(KeyError):
+            b.build()
+
+    def test_reading_from_aborted_txn_fails_validation(self):
+        b = HistoryBuilder(["x"])
+        w = b.txn("a")
+        w.write("x", 1)
+        w.abort()
+        r = b.txn("b")
+        r.read("x", source=w)
+        with pytest.raises((KeyError, AssertionError)):
+            b.build()

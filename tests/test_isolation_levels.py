@@ -1,0 +1,228 @@
+"""Integration tests: the classical anomaly catalogue against every level.
+
+Each anomaly history is checked against all five isolation levels, with the
+expected verdicts from the literature, and every verdict is cross-validated
+against the brute-force axiomatic reference checker — so these tests pin
+down the semantics of the efficient checkers.
+"""
+
+import pytest
+
+from repro.core import HistoryBuilder
+from repro.isolation import get_level, registered_levels, satisfies_reference
+
+LEVELS = ("RC", "RA", "CC", "SI", "SER")
+
+
+def verdicts(history, expected):
+    """Assert fast checker == reference == expected for each level."""
+    for level, want in zip(LEVELS, expected):
+        fast = get_level(level).satisfies(history)
+        ref = satisfies_reference(history, level)
+        assert fast == ref, f"{level}: fast={fast} reference={ref}"
+        assert fast == want, f"{level}: got {fast}, expected {want}"
+
+
+class TestAnomalyCatalogue:
+    def test_serial_history_satisfies_everything(self):
+        b = HistoryBuilder(["x"])
+        t1 = b.txn("a")
+        t1.write("x", 1)
+        t1.commit()
+        t2 = b.txn("b")
+        t2.read("x", source=t1)
+        t2.commit()
+        verdicts(b.build(), expected=(True, True, True, True, True))
+
+    def test_fractured_read_new_then_old_breaks_even_rc(self):
+        """Reader sees w's x, then misses w's y.
+
+        Once an earlier read in the same transaction observed ``w``, the RC
+        axiom (premise ``wr ∘ po``) forces ``w`` before the second read's
+        source ``init`` in commit order — a cycle with ``so(init, w)``.
+        """
+        b = HistoryBuilder(["x", "y"])
+        w = b.txn("w")
+        w.write("x", 1)
+        w.write("y", 1)
+        w.commit()
+        r = b.txn("r")
+        r.read("x", source=w)
+        r.read("y", source=b.init)
+        r.commit()
+        verdicts(b.build(), expected=(False, False, False, False, False))
+
+    def test_fractured_read_old_then_new_is_rc_only(self):
+        """Reader misses w's x, then sees w's y.
+
+        RC allows it (no po-earlier read observed ``w`` when ``x`` was
+        read); RA and above reject it (``w`` is a wr predecessor of the
+        reader, so all of ``w``'s writes must be visible atomically).
+        """
+        b = HistoryBuilder(["x", "y"])
+        w = b.txn("w")
+        w.write("x", 1)
+        w.write("y", 1)
+        w.commit()
+        r = b.txn("r")
+        r.read("x", source=b.init)
+        r.read("y", source=w)
+        r.commit()
+        verdicts(b.build(), expected=(True, False, False, False, False))
+
+    def test_read_committed_violation_observes_then_forgets(self):
+        """Reading y from w and then x from init (x written by w) breaks RC."""
+        b = HistoryBuilder(["x", "y"])
+        w = b.txn("w")
+        w.write("y", 1)
+        w.write("x", 1)
+        w.commit()
+        r = b.txn("r")
+        r.read("y", source=w)
+        r.read("x", source=b.init)
+        r.commit()
+        verdicts(b.build(), expected=(False, False, False, False, False))
+
+    def test_causality_violation_fig3(self):
+        """Fig. 3 of the paper: RA-consistent but not CC."""
+        b = HistoryBuilder(["x", "y"])
+        t1 = b.txn("s1")
+        t1.write("x", 1)
+        t1.commit()
+        t2 = b.txn("s2")
+        t2.read("x", source=t1)
+        t2.write("x", 2)
+        t2.commit()
+        t4 = b.txn("s4")
+        t4.read("x", source=t2)
+        t4.write("y", 1)
+        t4.commit()
+        t3 = b.txn("s3")
+        t3.read("x", source=t1)
+        t3.read("y", source=t4)
+        t3.commit()
+        verdicts(b.build(), expected=(True, True, False, False, False))
+
+    def test_lost_update_allowed_below_si(self):
+        b = HistoryBuilder(["x"])
+        u1 = b.txn("a")
+        u1.read("x", source=b.init)
+        u1.write("x", 1)
+        u1.commit()
+        u2 = b.txn("b")
+        u2.read("x", source=b.init)
+        u2.write("x", 2)
+        u2.commit()
+        verdicts(b.build(), expected=(True, True, True, False, False))
+
+    def test_write_skew_allowed_by_si_not_ser(self):
+        b = HistoryBuilder(["x", "y"])
+        t1 = b.txn("a")
+        t1.read("x", source=b.init)
+        t1.write("y", 1)
+        t1.commit()
+        t2 = b.txn("b")
+        t2.read("y", source=b.init)
+        t2.write("x", 1)
+        t2.commit()
+        verdicts(b.build(), expected=(True, True, True, True, False))
+
+    def test_long_fork_allowed_by_cc_not_si(self):
+        """Two observers disagree on the order of two independent writes."""
+        b = HistoryBuilder(["x", "y"])
+        wx = b.txn("wx")
+        wx.write("x", 1)
+        wx.commit()
+        wy = b.txn("wy")
+        wy.write("y", 1)
+        wy.commit()
+        o1 = b.txn("o1")
+        o1.read("x", source=wx)
+        o1.read("y", source=b.init)
+        o1.commit()
+        o2 = b.txn("o2")
+        o2.read("y", source=wy)
+        o2.read("x", source=b.init)
+        o2.commit()
+        verdicts(b.build(), expected=(True, True, True, False, False))
+
+    def test_stale_session_read_allowed_only_by_rc(self):
+        """Reading the session's older write after a newer one exists.
+
+        ``so`` puts w1 < w2 < r; RA and above force w2 before w1 (the read's
+        source), a cycle.  RC's premise is only ``wr ∘ po``, which does not
+        fire here, so RC tolerates the stale read.
+        """
+        b = HistoryBuilder(["x"])
+        w1 = b.txn("s")
+        w1.write("x", 1)
+        w1.commit()
+        w2 = b.txn("s")
+        w2.write("x", 2)
+        w2.commit()
+        r = b.txn("s")
+        r.read("x", source=w1)
+        r.commit()
+        verdicts(b.build(), expected=(True, False, False, False, False))
+
+    def test_aborted_writes_invisible_but_reads_constrained(self):
+        """An aborted transaction's reads still participate in the axioms."""
+        b = HistoryBuilder(["x", "y"])
+        w = b.txn("w")
+        w.write("x", 1)
+        w.write("y", 1)
+        w.commit()
+        a = b.txn("a")
+        a.read("y", source=b.init)
+        a.read("x", source=w)
+        a.abort()
+        verdicts(b.build(), expected=(True, False, False, False, False))
+
+
+class TestLevelMetadata:
+    def test_strength_chain(self):
+        names = [l.name for l in registered_levels()]
+        assert names == ["TRUE", "RC", "RA", "CC", "SI", "SER"]
+
+    def test_weaker_than(self):
+        assert get_level("RC").is_weaker_than(get_level("SER"))
+        assert not get_level("SER").is_weaker_than(get_level("CC"))
+
+    def test_causal_extensibility_flags_match_theorems(self):
+        # Theorem 3.4 and the Fig. 6 counterexample.
+        for name in ("TRUE", "RC", "RA", "CC"):
+            assert get_level(name).causally_extensible, name
+        for name in ("SI", "SER"):
+            assert not get_level(name).causally_extensible, name
+
+    def test_all_prefix_closed(self):
+        # Theorem 3.2.
+        for level in registered_levels():
+            assert level.prefix_closed, level.name
+
+    def test_aliases(self):
+        assert get_level("serializable") is get_level("SER")
+        assert get_level("read committed") is get_level("RC")
+        assert get_level("causal") is get_level("CC")
+
+    def test_unknown_level(self):
+        with pytest.raises(KeyError):
+            get_level("eventual")
+
+
+class TestStrengthSemantics:
+    def test_consistency_is_monotone_in_strength(self):
+        """Any SER-consistent history is consistent with all weaker levels."""
+        b = HistoryBuilder(["x"])
+        t1 = b.txn("a")
+        t1.write("x", 1)
+        t1.commit()
+        t2 = b.txn("b")
+        t2.read("x", source=t1)
+        t2.write("x", 2)
+        t2.commit()
+        h = b.build()
+        results = [get_level(n).satisfies(h) for n in LEVELS]
+        # once False, all stronger must be False (downward closure of chain)
+        for weaker, stronger in zip(results, results[1:]):
+            assert weaker or not stronger

@@ -1,0 +1,109 @@
+"""Unit tests for ordered histories (repro.core.ordered_history)."""
+
+import pytest
+
+from repro.core import History, OrderedHistory
+from repro.core.events import Event, EventId, EventType, INIT_TXN, TxnId
+from repro.isolation import get_level
+from repro.semantics import apply_action, next_action, valid_writes
+
+from tests.helpers import fig10_program
+
+
+def build_ordered(program):
+    oh = OrderedHistory.initial(program.initial_history())
+    level = get_level("CC")
+    while True:
+        action = next_action(program, oh.history)
+        if action is None:
+            return oh
+        if action.is_external_read:
+            writer, _ = valid_writes(oh.history, action, level)[0]
+            oh = apply_action(oh, action, writer)
+        else:
+            oh = apply_action(oh, action)
+
+
+class TestConstruction:
+    def test_initial_order_is_init_block(self):
+        h = History.initial(["x"])
+        oh = OrderedHistory.initial(h)
+        assert [e.txn for e in oh.order] == [INIT_TXN] * 3
+
+    def test_extended_appends(self):
+        h = History.initial(["x"])
+        oh = OrderedHistory.initial(h)
+        h2, tid = h.begin_transaction("s")
+        oh2 = oh.extended(h2, EventId(tid, 0))
+        assert oh2.last == EventId(tid, 0)
+        assert len(oh2.order) == len(oh.order) + 1
+
+    def test_replaced_keeps_order(self):
+        oh = build_ordered(fig10_program())
+        replacement = oh.replaced(oh.history)
+        assert replacement.order == oh.order
+
+
+class TestQueries:
+    def test_index_and_before(self):
+        oh = build_ordered(fig10_program())
+        first, second = oh.order[0], oh.order[1]
+        assert oh.index(first) == 0
+        assert oh.before(first, second)
+        assert not oh.before(second, first)
+
+    def test_txn_blocks_are_contiguous(self):
+        oh = build_ordered(fig10_program())
+        oh.validate()
+        reader, writer = TxnId("reader", 0), TxnId("writer", 0)
+        assert oh.txn_before(INIT_TXN, reader)
+        assert oh.txn_before(reader, writer), "oracle order drives the run"
+
+    def test_event_txn_comparisons(self):
+        oh = build_ordered(fig10_program())
+        reader, writer = TxnId("reader", 0), TxnId("writer", 0)
+        first_read = EventId(reader, 1)
+        assert oh.event_before_txn(first_read, writer)
+        assert oh.txn_before_event(INIT_TXN, first_read)
+        assert not oh.txn_before_event(writer, first_read)
+
+    def test_txns_in_order(self):
+        oh = build_ordered(fig10_program())
+        assert oh.txns_in_order() == [INIT_TXN, TxnId("reader", 0), TxnId("writer", 0)]
+
+    def test_events_from(self):
+        oh = build_ordered(fig10_program())
+        pivot = oh.order[3]
+        strict = list(oh.events_from(pivot))
+        inclusive = list(oh.events_from(pivot, strict=False))
+        assert inclusive[0] == pivot and strict == inclusive[1:]
+
+
+class TestValidate:
+    def test_detects_missing_event(self):
+        oh = build_ordered(fig10_program())
+        broken = OrderedHistory(oh.history, oh.order[:-1])
+        with pytest.raises(AssertionError):
+            broken.validate()
+
+    def test_detects_split_block(self):
+        oh = build_ordered(fig10_program())
+        order = list(oh.order)
+        # Move init's commit to the end: init's block is no longer contiguous.
+        order.append(order.pop(2))
+        with pytest.raises(AssertionError):
+            OrderedHistory(oh.history, order).validate()
+
+    def test_detects_read_before_source(self):
+        """footnote 7: reads must follow the transaction they read from.
+
+        The default drive runs the reader before the writer (oracle order),
+        so forging a wr edge from the writer — without the Swap that would
+        re-order the blocks — must fail validation.
+        """
+        oh = build_ordered(fig10_program())
+        read = oh.history.txns[TxnId("reader", 0)].reads()[0]
+        assert oh.history.wr[read.eid] == INIT_TXN
+        forged = oh.replaced(oh.history.with_read_source(read.eid, TxnId("writer", 0)))
+        with pytest.raises(AssertionError):
+            forged.validate()

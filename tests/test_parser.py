@@ -1,0 +1,133 @@
+"""Unit tests for the concrete-syntax parser (repro.lang.parser)."""
+
+import pytest
+
+from repro.core.events import TxnId
+from repro.lang import Program
+from repro.lang.ast import Abort, Assign, If, Read, Write
+from repro.lang.parser import ParseError, parse_program, parse_transaction
+
+
+TRANSFER = """
+// two bank sessions
+session alice {
+  transaction deposit {
+    a := read(acct);
+    write(acct, a + 100);
+  }
+}
+session bob {
+  transaction audit {
+    b := read(acct);
+    if (b < 0) { abort; } else { ok := 1; }
+  }
+}
+"""
+
+
+class TestParseProgram:
+    def test_structure(self):
+        program = parse_program(TRANSFER, name="transfer")
+        assert isinstance(program, Program)
+        assert list(program.sessions) == ["alice", "bob"]
+        assert program.transaction(TxnId("alice", 0)).name == "deposit"
+        assert program.variables == ("acct",)
+
+    def test_instruction_kinds(self):
+        program = parse_program(TRANSFER)
+        deposit = program.transaction(TxnId("alice", 0)).body
+        assert isinstance(deposit[0], Read) and deposit[0].target == "a"
+        assert isinstance(deposit[1], Write) and deposit[1].var == "acct"
+        audit = program.transaction(TxnId("bob", 0)).body
+        assert isinstance(audit[1], If)
+        assert isinstance(audit[1].then[0], Abort)
+        assert isinstance(audit[1].orelse[0], Assign)
+
+    def test_expression_evaluation(self):
+        program = parse_program(TRANSFER)
+        write = program.transaction(TxnId("alice", 0)).body[1]
+        assert write.expr.evaluate({"a": 1}) == 101
+
+    def test_unnamed_transactions_get_defaults(self):
+        program = parse_program("session s { transaction { write(x, 1); } }")
+        assert program.transaction(TxnId("s", 0)).name == "txn0"
+
+    def test_parsed_program_is_checkable(self):
+        from repro.dpor import explore_ce
+
+        text = """
+        session w1 { transaction { write(x, 2); } }
+        session r1 { transaction { a := read(x); } }
+        """
+        result = explore_ce(parse_program(text), "CC")
+        assert result.stats.outputs == 2  # read from init or from w1
+
+    def test_comments_and_whitespace(self):
+        program = parse_program(
+            "session s {\n// comment\n transaction {\n  write(x, 1); // trailing\n } }"
+        )
+        assert program.session_length("s") == 1
+
+
+class TestExpressions:
+    def run_expr(self, source, env):
+        txn = parse_transaction(f"t := {source};")
+        return txn.body[0].expr.evaluate(env)
+
+    def test_precedence(self):
+        assert self.run_expr("1 + 2 * 3", {}) == 7
+        assert self.run_expr("(1 + 2) * 3", {}) == 9
+
+    def test_comparisons_and_logic(self):
+        assert self.run_expr("a == 1 && b != 2", {"a": 1, "b": 3}) is True
+        assert self.run_expr("a < 1 || a >= 5", {"a": 7}) is True
+        assert self.run_expr("!(a > 0)", {"a": 1}) is False
+
+    def test_subtraction_chain(self):
+        assert self.run_expr("10 - 2 - 3", {}) == 5
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",  # no sessions
+            "session s { }",  # no transactions
+            "session s { transaction { a := read(); } }",  # missing var
+            "session s { transaction { write(x 1); } }",  # missing comma
+            "session s { transaction { abort } }",  # missing semicolon
+            "session s { transaction { a := ; } }",  # missing expression
+            "session s { transaction { read := read(x); } }",  # keyword target
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_duplicate_sessions_rejected(self):
+        text = "session s { transaction { write(x,1); } } session s { transaction { write(x,2); } }"
+        with pytest.raises(ParseError):
+            parse_program(text)
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("session s {\n transaction { @ } }")
+        except ParseError as err:
+            assert err.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestParseTransaction:
+    def test_bare_body(self):
+        txn = parse_transaction("a := read(x); write(y, a);", name="copy")
+        assert txn.name == "copy"
+        assert len(txn.body) == 2
+
+    def test_braced_body(self):
+        txn = parse_transaction("{ abort; }")
+        assert isinstance(txn.body[0], Abort)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transaction("{ abort; } extra")

@@ -1,0 +1,99 @@
+"""Unit tests for the relation utilities (repro.core.relations)."""
+
+import pytest
+
+from repro.core.relations import (
+    downward_closed,
+    is_acyclic,
+    make_adjacency,
+    reachable_from,
+    reaches,
+    reaches_reflexive,
+    restrict,
+    topological_orders,
+    transitive_closure,
+)
+
+
+def chain(n):
+    return make_adjacency(range(n), [(i, i + 1) for i in range(n - 1)])
+
+
+class TestAdjacency:
+    def test_rejects_dangling_edges(self):
+        with pytest.raises(ValueError):
+            make_adjacency([1, 2], [(1, 3)])
+
+    def test_restrict(self):
+        adj = chain(4)
+        sub = restrict(adj, {0, 1, 3})
+        assert sub == {0: {1}, 1: set(), 3: set()}
+
+
+class TestReachability:
+    def test_chain(self):
+        adj = chain(4)
+        assert reachable_from(adj, 0) == {1, 2, 3}
+        assert reachable_from(adj, 3) == set()
+        assert reaches(adj, 0, 3) and not reaches(adj, 3, 0)
+
+    def test_reflexive_variant(self):
+        adj = chain(2)
+        assert reaches_reflexive(adj, 0, 0)
+        assert not reaches(adj, 0, 0), "strict closure excludes self without a cycle"
+
+    def test_cycle_reaches_itself(self):
+        adj = make_adjacency([0, 1], [(0, 1), (1, 0)])
+        assert reaches(adj, 0, 0)
+
+    def test_transitive_closure(self):
+        closure = transitive_closure(chain(3))
+        assert closure == {0: {1, 2}, 1: {2}, 2: set()}
+
+
+class TestAcyclicity:
+    def test_dag(self):
+        assert is_acyclic(chain(5))
+
+    def test_self_loop(self):
+        assert not is_acyclic(make_adjacency([0], [(0, 0)]))
+
+    def test_long_cycle(self):
+        adj = make_adjacency(range(4), [(0, 1), (1, 2), (2, 3), (3, 1)])
+        assert not is_acyclic(adj)
+
+    def test_diamond(self):
+        adj = make_adjacency(range(4), [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert is_acyclic(adj)
+
+
+class TestTopologicalOrders:
+    def test_chain_has_one_order(self):
+        assert list(topological_orders(chain(3))) == [(0, 1, 2)]
+
+    def test_antichain_has_factorial_orders(self):
+        adj = make_adjacency(range(3), [])
+        assert len(list(topological_orders(adj))) == 6
+
+    def test_orders_respect_edges(self):
+        adj = make_adjacency(range(4), [(0, 1), (2, 3)])
+        for order in topological_orders(adj):
+            assert order.index(0) < order.index(1)
+            assert order.index(2) < order.index(3)
+
+    def test_cycle_yields_nothing(self):
+        adj = make_adjacency([0, 1], [(0, 1), (1, 0)])
+        assert list(topological_orders(adj)) == []
+
+
+class TestDownwardClosed:
+    def test_prefix_of_chain_is_closed(self):
+        assert downward_closed({0, 1}, chain(4))
+
+    def test_hole_is_not_closed(self):
+        assert not downward_closed({0, 2}, chain(4))
+
+    def test_empty_and_full_are_closed(self):
+        adj = chain(3)
+        assert downward_closed(set(), adj)
+        assert downward_closed({0, 1, 2}, adj)

@@ -1,0 +1,56 @@
+"""Tests for the cross-level comparison report (repro.checking.report)."""
+
+import pytest
+
+from repro import L, ProgramBuilder, assertion
+from repro.checking.report import compare_levels
+
+from tests.test_checker import lost_update_program, no_lost_update
+
+
+class TestCompareLevels:
+    def test_weakest_correct_level_for_lost_update(self):
+        comparison = compare_levels(lost_update_program(), [no_lost_update])
+        assert comparison.weakest_correct_level() == "SI"
+        assert not comparison.results["CC"].ok
+        assert comparison.results["SER"].ok
+
+    def test_write_skew_needs_ser(self):
+        from repro.apps import courseware
+
+        program = courseware.capacity_violation_program(capacity=1)
+        check = courseware.capacity_assertion("auditor", capacity=1)
+        comparison = compare_levels(program, [check])
+        assert comparison.weakest_correct_level() == "SER"
+
+    def test_always_true_assertion_holds_at_rc(self):
+        @assertion("trivially true")
+        def trivial(outcome):
+            return True
+
+        comparison = compare_levels(lost_update_program(), [trivial])
+        assert comparison.weakest_correct_level() == "RC"
+
+    def test_never_correct_returns_none(self):
+        @assertion("never")
+        def never(outcome):
+            return False
+
+        comparison = compare_levels(lost_update_program(), [never])
+        assert comparison.weakest_correct_level() is None
+
+    def test_render_contains_everything(self):
+        comparison = compare_levels(lost_update_program(), [no_lost_update])
+        text = comparison.render()
+        assert "weakest correct level: SI" in text
+        for level in ("RC", "RA", "CC", "SI", "SER"):
+            assert level in text
+
+    def test_unordered_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            compare_levels(lost_update_program(), [no_lost_update], levels=("SER", "RC"))
+
+    def test_history_counts_shrink_up_the_ladder(self):
+        comparison = compare_levels(lost_update_program(), [no_lost_update])
+        counts = [comparison.results[l].history_count for l in ("RC", "RA", "CC", "SI", "SER")]
+        assert all(a >= b for a, b in zip(counts, counts[1:])), counts

@@ -1,0 +1,72 @@
+"""Cross-cutting soundness checks of the operational semantics.
+
+Every history the algorithms output must be *feasible*: replaying each
+transaction's recorded events against its program text must reproduce
+exactly those events (read values included), and every wr edge must point
+to a committed transaction whose visible write matches the read's value.
+"""
+
+import random
+
+import pytest
+
+from repro.core.events import EventType, INIT_TXN
+from repro.dpor import explore_ce
+from repro.semantics.executor import next_operation
+
+from tests.helpers import PAPER_PROGRAMS, random_program
+
+
+def assert_history_feasible(program, history):
+    for tid, log in history.txns.items():
+        if tid == INIT_TXN:
+            continue
+        # Replaying all but the terminal event must predict the terminal.
+        txn = program.transaction(tid)
+        terminal = log.last_event
+        assert terminal.type in (EventType.COMMIT, EventType.ABORT)
+        prefix = log.prefix(len(log.events) - 1)
+        op, _env = next_operation(txn, prefix)
+        expected = "AbortOp" if terminal.type is EventType.ABORT else "CommitOp"
+        assert type(op).__name__ == expected, (tid, op, terminal)
+    for read, writer in history.wr.items():
+        writer_log = history.txns[writer]
+        assert writer_log.is_committed, "reads only read from committed txns"
+        event = history.event(read)
+        assert history.visible_write_value(writer, event.var) == event.value
+
+
+@pytest.mark.parametrize("make_program", PAPER_PROGRAMS, ids=lambda f: f.__name__)
+def test_paper_program_outputs_are_feasible(make_program):
+    program = make_program()
+    result = explore_ce(program, "CC")
+    for history in result.histories:
+        assert_history_feasible(program, history)
+
+
+def test_random_program_outputs_are_feasible():
+    rng = random.Random(2024)
+    for trial in range(25):
+        program = random_program(rng, name=f"feas{trial}")
+        result = explore_ce(program, "TRUE")
+        for history in result.histories:
+            assert_history_feasible(program, history)
+
+
+def test_local_reads_match_own_writes():
+    """read-local rule: a read after an own write observes that write."""
+    from repro.lang import ProgramBuilder, L
+
+    p = ProgramBuilder("local-read")
+    t = p.session("s").transaction()
+    t.write("x", 7).read("a", "x").write("y", L("a"))
+    p.session("w").transaction().write("x", 99)
+    program = p.build()
+    result = explore_ce(program, "CC")
+    for history in result.histories:
+        from repro.core.events import TxnId
+
+        log = history.txns[TxnId("s", 0)]
+        local_reads = [e for e in log.events if e.type is EventType.READ and e.local]
+        assert local_reads and all(e.value == 7 for e in local_reads)
+        assert log.writes()["y"].value == 7

@@ -1,0 +1,70 @@
+"""Tests for exploration statistics and explorer plumbing (repro.dpor)."""
+
+import pytest
+
+from repro.dpor import ExplorationStats, SwappingExplorer, explore_ce
+from repro.isolation import get_level
+
+from tests.helpers import fig10_program, fig12_program
+
+
+class TestStats:
+    def test_merge_sums_counters_and_maxes_peaks(self):
+        a = ExplorationStats(explore_calls=5, outputs=2, peak_stack=10, seconds=1.0)
+        b = ExplorationStats(explore_calls=3, outputs=1, peak_stack=4, seconds=0.5, timed_out=True)
+        merged = a.merge(b)
+        assert merged.explore_calls == 8
+        assert merged.outputs == 3
+        assert merged.peak_stack == 10
+        assert merged.seconds == 1.5
+        assert merged.timed_out
+
+    def test_counters_populated_by_run(self):
+        result = explore_ce(fig12_program(), "CC")
+        s = result.stats
+        assert s.explore_calls > 0
+        assert s.outputs == s.end_states == 9
+        assert s.swap_candidates >= s.swaps_applied > 0
+        assert s.consistency_checks > 0
+        assert s.peak_stack > 0
+        assert s.peak_live_events > 0
+        assert s.seconds >= 0
+
+    def test_swaps_applied_bounded_by_candidates(self):
+        result = explore_ce(fig12_program(), "CC")
+        assert result.stats.swaps_applied <= result.stats.swap_candidates
+
+
+class TestExplorerConfig:
+    def test_collect_histories_false_counts_only(self):
+        result = explore_ce(fig10_program(), "CC", collect_histories=False)
+        assert result.histories is None
+        assert result.stats.outputs == 2
+        with pytest.raises(ValueError):
+            result.distinct_histories
+
+    def test_on_output_callback(self):
+        seen = []
+        explore_ce(fig10_program(), "CC", on_output=seen.append)
+        assert len(seen) == 2
+
+    def test_timeout_sets_flag(self):
+        from repro.lang import ProgramBuilder
+
+        p = ProgramBuilder("slow")
+        for s in range(4):
+            session = p.session(f"s{s}")
+            for _ in range(2):
+                session.transaction().read("a", "x").write("x", s).read("b", "y").write("y", s)
+        result = explore_ce(p.build(), "CC", collect_histories=False, timeout=0.02)
+        assert result.stats.timed_out
+
+    def test_algorithm_names(self):
+        cc = SwappingExplorer(fig10_program(), get_level("CC"))
+        star = SwappingExplorer(fig10_program(), get_level("CC"), valid_level=get_level("SER"))
+        assert cc.algorithm_name == "explore-ce(CC)"
+        assert star.algorithm_name == "explore-ce*(CC, SER)"
+
+    def test_is_optimal_run_property(self):
+        result = explore_ce(fig10_program(), "CC")
+        assert result.is_optimal_run

@@ -1,0 +1,99 @@
+"""Unit tests for the SQL-table modelling (repro.apps.tables)."""
+
+import pytest
+
+from repro.apps.tables import Table
+from repro.checking import ModelChecker
+from repro.lang import L, Program, Transaction
+from repro.lang.expr import contains
+
+
+@pytest.fixture
+def accounts():
+    return Table("accounts", columns=("owner", "balance"), key_space=(1, 2))
+
+
+class TestNaming:
+    def test_variables(self, accounts):
+        assert accounts.ids_var == "accounts__ids"
+        assert accounts.row_var(1) == "accounts__row_1"
+        assert set(accounts.variables()) == {
+            "accounts__ids",
+            "accounts__row_1",
+            "accounts__row_2",
+        }
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table("empty", columns=(), key_space=(1,))
+
+
+class TestRowHelpers:
+    def test_row_tuple(self, accounts):
+        assert accounts.row(owner="ann", balance=10) == ("ann", 10)
+        assert accounts.row(owner="ann") == ("ann", 0), "missing columns default to 0"
+
+    def test_row_rejects_unknown_columns(self, accounts):
+        with pytest.raises(ValueError):
+            accounts.row(color="red")
+
+    def test_col_extraction(self, accounts):
+        expr = accounts.col(L("r"), "balance")
+        assert expr.evaluate({"r": ("ann", 42)}) == 42
+
+    def test_updated(self, accounts):
+        expr = accounts.updated(L("r"), balance=L("b") + 5)
+        assert expr.evaluate({"r": ("ann", 10), "b": 10}) == ("ann", 15)
+
+    def test_row_expr(self, accounts):
+        expr = accounts.row_expr(owner="ann", balance=L("b"))
+        assert expr.evaluate({"b": 3}) == ("ann", 3)
+
+
+class TestStatementCompilation:
+    def test_insert_reads_then_writes_set_and_row(self, accounts):
+        instrs = accounts.insert(1, accounts.row(owner="ann", balance=5))
+        kinds = [type(i).__name__ for i in instrs]
+        assert kinds == ["Read", "Write", "Write"]
+        assert instrs[0].var == accounts.ids_var
+        assert instrs[2].var == accounts.row_var(1)
+
+    def test_delete_touches_only_set(self, accounts):
+        instrs = accounts.delete(1)
+        assert [type(i).__name__ for i in instrs] == ["Read", "Write"]
+
+    def test_select_where_guards_each_key(self, accounts):
+        instrs = accounts.select_where("ids", "r")
+        assert type(instrs[0]).__name__ == "Read"
+        assert len(instrs) == 1 + len(accounts.key_space)
+
+    def test_update_by_key(self, accounts):
+        instrs = accounts.update_by_key(2, "r", balance=L("r") and 0 or 0)
+        assert [type(i).__name__ for i in instrs] == ["Read", "Write"]
+
+
+class TestEndToEnd:
+    def test_insert_then_scan_under_ser(self, accounts):
+        """One session inserts; a scanner sees either none or the full row."""
+        insert = Transaction("ins", tuple(accounts.insert(1, accounts.row(owner="a", balance=7))))
+        scan = Transaction("scan", tuple(accounts.select_where("ids", "r")))
+        program = Program(
+            {"writer": [insert], "scanner": [scan]},
+            name="table-demo",
+            extra_variables=accounts.variables(),
+            initial_values={accounts.ids_var: frozenset()},
+        )
+
+        from repro.checking.assertions import Assertion
+
+        def sees_consistent_row(outcome):
+            ids = outcome.value("scanner", "ids")
+            if 1 in ids:
+                return outcome.value("scanner", "r_1") == ("a", 7)
+            return True
+
+        result = ModelChecker(program, isolation="SER").run(
+            assertions=[Assertion("scan sees whole row", sees_consistent_row)]
+        )
+        assert result.ok
+        assert result.history_count == 2, "insert before or after the scan"
