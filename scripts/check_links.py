@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's Markdown docs.
+
+Scans ``README.md`` and every ``*.md`` under ``docs/`` for inline Markdown
+links/images, resolves relative targets against the containing file, and
+reports targets that do not exist.  External (``http(s)://``, ``mailto:``)
+and same-file anchor links are ignored; ``path#fragment`` is checked for
+the path only.
+
+Used by CI and by ``tests/test_docs_links.py``; run manually with::
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Inline links and images: [text](target) / ![alt](target).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").rglob("*.md")))
+    return files
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """``(file, target)`` pairs whose relative target does not exist."""
+    broken: List[Tuple[Path, str]] = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Strip fenced code blocks — link syntax inside them is not a link.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append((md, target))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    bad = broken_links(root)
+    for md, target in bad:
+        print(f"{md.relative_to(root)}: broken relative link -> {target}")
+    if bad:
+        return 1
+    files = markdown_files(root)
+    print(f"checked {len(files)} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,14 @@
-"""Core data model: events, transaction logs, histories, ordered histories."""
+"""Core data model: events, transaction logs, histories, ordered histories,
+and the bitset relation engine backing their causality queries."""
 
+from .bitrel import RelationMatrix
 from .events import INIT_SESSION, INIT_TXN, Event, EventId, EventType, TxnId
 from .history import History, TransactionLog, is_prefix
 from .ordered_history import OrderedHistory
 from .canonical import HistorySet, canonical_key, format_history
 
 __all__ = [
+    "RelationMatrix",
     "INIT_SESSION",
     "INIT_TXN",
     "Event",

@@ -1,0 +1,227 @@
+"""Bitset relation engine: dense node indexing + word-parallel closure.
+
+:class:`RelationMatrix` is the workhorse behind every reachability,
+acyclicity and closure query in the library.  Nodes (transaction ids in
+practice, but any hashables) are indexed densely at construction; each
+adjacency row is a single Python ``int`` used as a bitset, so set union is
+``|`` and membership is a shift-and-mask — one machine word covers 64 nodes
+and CPython big-int arithmetic extends this word-parallelism to arbitrary
+sizes.
+
+The matrix maintains the **strict transitive closure in both directions**
+(descendant and ancestor rows).  The initial closure is computed with the
+bitset Floyd–Warshall sweep (``n`` row unions of ``n``-bit words); after
+that, :meth:`add_edge` updates the closure *incrementally* in O(affected
+rows): adding ``u → v`` unions ``{v} ∪ desc(v)`` into every ancestor of
+``u`` and ``{u} ∪ anc(u)`` into every descendant of ``v``.  Edges are never
+removed — the relations of this code base (``so ∪ wr`` plus forced
+commit-order edges) only ever grow, and closure under deletion would not
+admit such cheap maintenance.
+
+The engine deliberately knows nothing about histories; :mod:`repro.core.history`
+caches one matrix per history (``History.causal_matrix``) and the isolation
+and DPOR layers query/extend it instead of rebuilding dict-of-set graphs
+per query.  The dict-of-set facade in :mod:`repro.core.relations` remains
+for heterogeneous event graphs and for the brute-force reference checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
+
+Node = Hashable
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class RelationMatrix:
+    """A binary relation over a fixed node universe, closed under composition.
+
+    The node set is fixed at construction (dense indexing requires it);
+    edges may be added at any time and the strict transitive closure is
+    maintained incrementally.  All query methods run on the maintained
+    closure — no traversal ever happens at query time.
+    """
+
+    __slots__ = ("_nodes", "_index", "_succ", "_desc", "_anc", "_acyclic", "_frozen")
+
+    #: Number of full (closure-computing) constructions since interpreter
+    #: start.  :meth:`copy` and :meth:`add_edge` do not count — the
+    #: regression tests use this to assert that checkers build the relation
+    #: once per history instead of once per query.
+    full_builds: int = 0
+
+    def __init__(self, nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]] = ()):
+        self._nodes: Tuple[Node, ...] = tuple(nodes)
+        self._index: Dict[Node, int] = {n: i for i, n in enumerate(self._nodes)}
+        if len(self._index) != len(self._nodes):
+            raise ValueError("duplicate nodes in RelationMatrix universe")
+        n = len(self._nodes)
+        succ = [0] * n
+        for src, dst in edges:
+            i = self._index.get(src)
+            j = self._index.get(dst)
+            if i is None or j is None:
+                raise ValueError(f"edge ({src!r}, {dst!r}) has endpoint outside node set")
+            succ[i] |= 1 << j
+        self._succ: List[int] = succ
+        self._close()
+        self._frozen = False
+        RelationMatrix.full_builds += 1
+
+    def _close(self) -> None:
+        """Bitset Floyd–Warshall: closure rows from scratch, then transpose."""
+        desc = list(self._succ)
+        for k in range(len(desc)):
+            bit = 1 << k
+            via_k = desc[k]
+            for i, row in enumerate(desc):
+                if row & bit:
+                    desc[i] = row | via_k
+        anc = [0] * len(desc)
+        for i, row in enumerate(desc):
+            bit = 1 << i
+            for j in iter_bits(row):
+                anc[j] |= bit
+        self._desc = desc
+        self._anc = anc
+        self._acyclic = all(not (row >> i) & 1 for i, row in enumerate(desc))
+
+    # -- structure ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return self._nodes
+
+    def index_of(self, node: Node) -> int:
+        """Dense index of ``node`` (stable for the lifetime of the matrix)."""
+        return self._index[node]
+
+    def node_at(self, index: int) -> Node:
+        return self._nodes[index]
+
+    def mask_of(self, nodes: Iterable[Node]) -> int:
+        """Bitmask with the bit of every node in ``nodes`` set."""
+        mask = 0
+        for node in nodes:
+            mask |= 1 << self._index[node]
+        return mask
+
+    def nodes_of_mask(self, mask: int) -> Set[Node]:
+        return {self._nodes[i] for i in iter_bits(mask)}
+
+    def copy(self) -> "RelationMatrix":
+        """An independent matrix sharing the (immutable) node indexing.
+
+        O(n) — rows are immutable ints, so copying the row lists suffices.
+        Used by the saturation checker to extend a history's cached closure
+        with forced edges without disturbing the cache.
+        """
+        dup = object.__new__(RelationMatrix)
+        dup._nodes = self._nodes
+        dup._index = self._index
+        dup._succ = list(self._succ)
+        dup._desc = list(self._desc)
+        dup._anc = list(self._anc)
+        dup._acyclic = self._acyclic
+        dup._frozen = False
+        return dup
+
+    def freeze(self) -> "RelationMatrix":
+        """Make :meth:`add_edge` raise on this instance (but not on copies).
+
+        Matrices cached on a history are shared by every consumer of that
+        history; freezing turns an in-place mutation — which would silently
+        corrupt all future causal queries — into an immediate error.
+        """
+        self._frozen = True
+        return self
+
+    # -- incremental growth -------------------------------------------------
+
+    def add_edge(self, src: Node, dst: Node) -> bool:
+        """Add ``src → dst`` and update the maintained closure incrementally.
+
+        Returns ``False`` when the edge was already implied by the closure
+        (nothing changed).  Cost is O(affected rows): one ``|=`` per
+        ancestor of ``src`` and per descendant of ``dst``.
+        """
+        if self._frozen:
+            raise ValueError("matrix is frozen (cached on a history); copy() it before add_edge")
+        i = self._index[src]
+        j = self._index[dst]
+        self._succ[i] |= 1 << j
+        gained_desc = self._desc[j] | (1 << j)
+        if not (gained_desc & ~self._desc[i]) and i != j:
+            # dst and its descendants were already descendants of src.
+            return False
+        gained_anc = self._anc[i] | (1 << i)
+        for a in iter_bits(gained_anc):
+            self._desc[a] |= gained_desc
+        for d in iter_bits(gained_desc):
+            self._anc[d] |= gained_anc
+        if i == j or (self._desc[j] >> i) & 1:
+            self._acyclic = False
+        return True
+
+    def add_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        for src, dst in edges:
+            self.add_edge(src, dst)
+
+    def would_close_cycle(self, src: Node, dst: Node) -> bool:
+        """Whether adding ``src → dst`` would create (or hit) a cycle."""
+        if src == dst:
+            return True
+        return (self._desc[self._index[dst]] >> self._index[src]) & 1 == 1
+
+    # -- queries on the maintained closure -----------------------------------
+
+    def reaches(self, src: Node, dst: Node) -> bool:
+        """``(src, dst) ∈ R+`` — a single shift-and-mask."""
+        return (self._desc[self._index[src]] >> self._index[dst]) & 1 == 1
+
+    def reaches_reflexive(self, src: Node, dst: Node) -> bool:
+        """``(src, dst) ∈ R*``."""
+        return src == dst or self.reaches(src, dst)
+
+    def descendants_mask(self, node: Node) -> int:
+        return self._desc[self._index[node]]
+
+    def ancestors_mask(self, node: Node) -> int:
+        return self._anc[self._index[node]]
+
+    def descendants(self, node: Node) -> Set[Node]:
+        """Strict descendants ``{d | (node, d) ∈ R+}`` as a node set."""
+        return self.nodes_of_mask(self._desc[self._index[node]])
+
+    def ancestors(self, node: Node) -> Set[Node]:
+        """Strict ancestors ``{a | (a, node) ∈ R+}`` as a node set."""
+        return self.nodes_of_mask(self._anc[self._index[node]])
+
+    def successors_mask(self, node: Node) -> int:
+        """Direct (one-step) successors, as a bitmask."""
+        return self._succ[self._index[node]]
+
+    def is_acyclic(self) -> bool:
+        """O(1): the cycle flag is maintained across :meth:`add_edge`."""
+        return self._acyclic
+
+    def transitive_closure(self) -> Dict[Node, Set[Node]]:
+        """The closure as a node → descendant-set map (compatibility/tests)."""
+        return {node: self.nodes_of_mask(self._desc[i]) for i, node in enumerate(self._nodes)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        edges = sum(bin(row).count("1") for row in self._succ)
+        return f"<RelationMatrix {len(self._nodes)} nodes, {edges} edges, acyclic={self._acyclic}>"

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
+from .bitrel import RelationMatrix
 from .events import INIT_TXN, Event, EventId, EventType, TxnId
-from .relations import downward_closed, is_acyclic, make_adjacency, reachable_from
+from .relations import downward_closed, make_adjacency, reachable_from
 
 
 class TransactionLog:
@@ -384,8 +385,39 @@ class History:
             self._cache["so_wr"] = adj
         return adj
 
+    def causal_matrix(self) -> RelationMatrix:
+        """The ``so ∪ wr`` relation as a :class:`RelationMatrix` with its
+        transitive closure maintained.
+
+        Built once per history and cached — histories are persistent, so
+        the relation never changes after construction.  Checkers that need
+        ``so ∪ wr`` plus extra edges copy this matrix and grow the copy
+        incrementally (:meth:`RelationMatrix.add_edge`).
+        """
+        matrix = self._cache.get("causal_matrix")
+        if matrix is None:
+            edges: List[Tuple[TxnId, TxnId]] = list(self.so_pairs())
+            edges.extend((writer, read.txn) for read, writer in self.wr.items() if writer != read.txn)
+            matrix = RelationMatrix(self.txns, edges).freeze()
+            self._cache["causal_matrix"] = matrix
+        return matrix
+
+    def adopt_causal_matrix(self, matrix: RelationMatrix) -> None:
+        """Seed the causal-closure cache with an incrementally-derived matrix.
+
+        Used by ``ValidWrites``: a candidate extension differs from its base
+        history by a single wr edge, so its matrix is the base's closure
+        plus one ``add_edge`` — adopting it avoids a full rebuild.  The
+        matrix must be over exactly this history's transactions.
+        """
+        if matrix.nodes != tuple(self.txns):
+            raise ValueError("adopted matrix does not match this history's transactions")
+        self._cache["causal_matrix"] = matrix.freeze()
+
     def causally_before(self, a: TxnId, b: TxnId, exclude_read: Optional[EventId] = None) -> bool:
         """``(a, b) ∈ (so ∪ wr)+``."""
+        if exclude_read is None:
+            return self.causal_matrix().reaches(a, b)
         return b in self.causal_descendants(a, exclude_read)
 
     def causally_before_eq(self, a: TxnId, b: TxnId, exclude_read: Optional[EventId] = None) -> bool:
@@ -394,24 +426,29 @@ class History:
 
     def causal_descendants(self, a: TxnId, exclude_read: Optional[EventId] = None) -> Set[TxnId]:
         if exclude_read is None:
-            cache = self._cache.setdefault("desc", {})
-            if a not in cache:
-                cache[a] = reachable_from(self.so_wr_adjacency(), a)
-            return cache[a]
+            return self.causal_matrix().descendants(a)
         return reachable_from(self.so_wr_adjacency(exclude_read), a)
 
     def causal_past(self, a: TxnId, exclude_read: Optional[EventId] = None) -> Set[TxnId]:
-        """All ``t`` with ``(t, a) ∈ (so ∪ wr)+``."""
+        """All ``t ≠ a`` with ``(t, a) ∈ (so ∪ wr)+``.
+
+        ``a`` is excluded even when it lies on a cycle (only possible on
+        not-yet-validated histories), matching the DFS fallback branch.
+        """
+        if exclude_read is None:
+            past = self.causal_matrix().ancestors(a)
+            past.discard(a)
+            return past
         adj = self.so_wr_adjacency(exclude_read)
         return {t for t in adj if t != a and a in reachable_from(adj, t)}
 
     def is_so_wr_acyclic(self) -> bool:
-        """Def. 2.1 requires ``so ∪ wr`` acyclic."""
-        return is_acyclic(self.so_wr_adjacency())
+        """Def. 2.1 requires ``so ∪ wr`` acyclic; O(1) on the cached closure."""
+        return self.causal_matrix().is_acyclic()
 
     def maximal_in_causal_order(self, tid: TxnId) -> bool:
         """``t`` is (so ∪ wr)+-maximal in h (paper §3.2)."""
-        return not self.causal_descendants(tid)
+        return self.causal_matrix().descendants_mask(tid) == 0
 
     # -- structural equivalence --------------------------------------------------
 

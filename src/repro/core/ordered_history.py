@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .bitrel import RelationMatrix
 from .events import Event, EventId, TxnId
 from .history import History
 
@@ -48,6 +49,16 @@ class OrderedHistory:
     def replaced(self, history: History) -> "OrderedHistory":
         """Same order, updated history (used when only wr/values changed)."""
         return OrderedHistory(history, self.order)
+
+    def causal_matrix(self) -> RelationMatrix:
+        """The history's cached ``so ∪ wr`` closure (see ``History.causal_matrix``).
+
+        Swap computation issues one reachability query per (read, target)
+        candidate and per ordered event; routing them through the shared
+        matrix means the closure is built once per explored history rather
+        than once per query.
+        """
+        return self.history.causal_matrix()
 
     # -- position queries ---------------------------------------------------------
 

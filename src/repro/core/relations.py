@@ -1,13 +1,29 @@
-"""Small relation/graph utilities used throughout the library.
+"""Dict-of-set relation/graph utilities — now a thin facade over
+:mod:`repro.core.bitrel`.
 
-Histories are tiny (tens of nodes), so the implementations favour clarity
-over asymptotic cleverness: reachability is DFS, closures are dict-of-set
-saturations, cycle detection is iterative colouring.
+This module keeps the original adjacency-map API (used by the brute-force
+reference checker, ``is_prefix`` on event graphs, and the tests), but the
+whole-graph operations — :func:`transitive_closure` and :func:`is_acyclic`
+— delegate to the bitset relation engine
+(:class:`~repro.core.bitrel.RelationMatrix`), which indexes nodes densely
+and computes closures word-parallel.  Results agree with the old DFS
+saturations on every input ``make_adjacency`` can produce; the one
+behavioural difference is that ``is_acyclic`` now tolerates successors
+absent from the key set (the old three-colour DFS crashed on them).
+
+Single-source queries (:func:`reachable_from`, :func:`reaches`) stay plain
+DFS: building a dense matrix to answer one source would cost more than the
+traversal.  Hot paths that issue *many* reachability queries over one
+relation should not go through this facade at all — they should hold a
+``RelationMatrix`` (see ``History.causal_matrix``) and query its maintained
+closure directly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Mapping, Set, Tuple
+
+from .bitrel import RelationMatrix
 
 Node = Hashable
 Adjacency = Mapping[Node, Set[Node]]
@@ -41,8 +57,15 @@ def reachable_from(adj: Adjacency, start: Node) -> Set[Node]:
 
 
 def transitive_closure(adj: Adjacency) -> Dict[Node, Set[Node]]:
-    """The strict transitive closure ``R+`` as a node → descendants map."""
-    return {node: reachable_from(adj, node) for node in adj}
+    """The strict transitive closure ``R+`` as a node → descendants map.
+
+    Delegates to the bitset engine: one dense matrix build replaces one
+    DFS per node.  Like the DFS it replaced, successors that are not
+    themselves keys of ``adj`` are tolerated (and appear only inside the
+    descendant sets, not as keys of the result).
+    """
+    closure = _matrix_of(adj).transitive_closure()
+    return {node: closure[node] for node in adj}
 
 
 def reaches(adj: Adjacency, src: Node, dst: Node) -> bool:
@@ -55,30 +78,22 @@ def reaches_reflexive(adj: Adjacency, src: Node, dst: Node) -> bool:
     return src == dst or reaches(adj, src, dst)
 
 
+def _matrix_of(adj: Adjacency) -> RelationMatrix:
+    """A :class:`RelationMatrix` over ``adj``'s nodes and edges.
+
+    The universe also covers successors that are not keys of ``adj``
+    (the old DFS walked them via ``adj.get``).
+    """
+    universe: Dict[Node, None] = dict.fromkeys(adj)
+    for succs in adj.values():
+        for dst in succs:
+            universe.setdefault(dst, None)
+    return RelationMatrix(universe, ((src, dst) for src, succs in adj.items() for dst in succs))
+
+
 def is_acyclic(adj: Adjacency) -> bool:
-    """Cycle check by iterative three-colour DFS."""
-    WHITE, GREY, BLACK = 0, 1, 2
-    colour: Dict[Node, int] = {n: WHITE for n in adj}
-    for root in adj:
-        if colour[root] != WHITE:
-            continue
-        stack = [(root, iter(adj[root]))]
-        colour[root] = GREY
-        while stack:
-            node, it = stack[-1]
-            advanced = False
-            for succ in it:
-                if colour[succ] == GREY:
-                    return False
-                if colour[succ] == WHITE:
-                    colour[succ] = GREY
-                    stack.append((succ, iter(adj[succ])))
-                    advanced = True
-                    break
-            if not advanced:
-                colour[node] = BLACK
-                stack.pop()
-    return True
+    """Cycle check, delegated to the bitset engine's maintained closure."""
+    return _matrix_of(adj).is_acyclic()
 
 
 def topological_orders(adj: Adjacency):

@@ -20,6 +20,13 @@ swapping-based algorithm (Theorem 6.1).
 The recursion is realised with an explicit LIFO work stack (the paper's
 implementation is iterative too, §7.1); the peak stack size is the paper's
 polynomial-memory bound and is reported in the statistics.
+
+All causality queries issued on behalf of the exploration — swap-candidate
+filtering, doomed-event pruning, and the consistency checks behind
+``ValidWrites`` — run against the per-history cached
+:class:`~repro.core.bitrel.RelationMatrix` (``so ∪ wr`` with its closure
+maintained incrementally), so the relation is constructed at most once per
+explored history rather than once per query.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from ..semantics.enumerate import ExplorationTimeout
 from ..semantics.scheduler import apply_action, next_action, valid_writes
 from .optimality import optimality
 from .stats import ExplorationStats
-from .swaps import compute_reorderings
+from .swaps import compute_reorderings, swap
 
 
 @dataclass
@@ -203,8 +210,6 @@ class SwappingExplorer:
             if self.restrict_swaps:
                 enabled, swapped_oh = optimality(self.program, oh, read, target, self.level)
             else:
-                from .swaps import swap
-
                 swapped_oh = swap(oh, read, target)
                 enabled = self.level.satisfies(swapped_oh.history)
             self.stats.consistency_checks += 1

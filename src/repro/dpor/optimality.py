@@ -58,12 +58,13 @@ def is_swapped(program: Program, oh: OrderedHistory, read: EventId) -> bool:
     if not program.oracle_before(reader, source):
         return False
     # (2)
+    matrix = oh.causal_matrix()
     for other in history.txns:
         if other == reader or not program.oracle_before(other, reader):
             continue
         if oh.event_before_txn(read, other):
             continue
-        if history.causally_before(source, other):
+        if matrix.reaches(source, other):
             return False
     # (3)
     reader_log = history.txns[reader]
@@ -95,6 +96,7 @@ def read_latest(
     if current_source is None:
         return True
     pruned = history.remove_events(doomed_events(oh, read, target, strict=False))
+    pruned_matrix = pruned.causal_matrix()
     reader = read.txn
     var = history.event(read).var
 
@@ -103,9 +105,15 @@ def read_latest(
     for log in pruned.committed_transactions():
         if not log.writes_var(var):
             continue
-        if not pruned.causally_before_eq(log.tid, reader):
+        if not pruned_matrix.reaches_reflexive(log.tid, reader):
             continue
         candidate = _reappend_read(pruned, read, var, log.tid)
+        # Same derivation as ValidWrites: the candidate is pruned plus one
+        # wr edge, so it adopts pruned's closure + add_edge, no rebuild.
+        derived = pruned_matrix.copy()
+        if log.tid != reader:
+            derived.add_edge(log.tid, reader)
+        candidate.adopt_causal_matrix(derived)
         if not level.satisfies(candidate):
             continue
         pos = oh.txn_position(log.tid)

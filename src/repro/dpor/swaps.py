@@ -40,6 +40,9 @@ def compute_reorderings(oh: OrderedHistory) -> List[Tuple[EventId, TxnId]]:
     target_writes = history.txns[target].writes()
     if not target_writes:
         return []
+    # One maintained so∪wr closure answers the causality test for every
+    # candidate read — no per-pair reachability search.
+    matrix = oh.causal_matrix()
     pairs: List[Tuple[EventId, TxnId]] = []
     for read in history.reads():
         if read.var not in target_writes:
@@ -47,7 +50,7 @@ def compute_reorderings(oh: OrderedHistory) -> List[Tuple[EventId, TxnId]]:
         reader = read.eid.txn
         if reader == target or not oh.txn_before(reader, target):
             continue
-        if history.causally_before_eq(reader, target):
+        if matrix.reaches_reflexive(reader, target):
             continue
         pairs.append((read.eid, target))
     # Deterministic exploration order: by position of the read in <.
@@ -61,10 +64,10 @@ def doomed_events(oh: OrderedHistory, pivot: EventId, target: TxnId, strict: boo
     With ``strict=False`` the pivot itself is included (the variant used by
     ``readLatest``, §5.3).
     """
-    history = oh.history
+    matrix = oh.causal_matrix()
     doomed: Set[EventId] = set()
     for eid in oh.events_from(pivot, strict=strict):
-        if not history.causally_before_eq(eid.txn, target):
+        if not matrix.reaches_reflexive(eid.txn, target):
             doomed.add(eid)
     return doomed
 

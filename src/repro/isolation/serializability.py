@@ -16,73 +16,63 @@ histories with few sessions (§7.3).
 
 Aborted and pending transactions take part in the order (the commit order of
 Def. 2.2 is total on *all* transaction logs) but expose no writes.
+
+The search runs on the dense indexing of the history's cached
+:class:`~repro.core.bitrel.RelationMatrix`: the committed set is one int
+bitmask, and a transaction is enabled iff ``ancestors_mask(t) & ~committed``
+is zero — a single word-parallel test against the maintained ``so ∪ wr``
+closure (valid because every committed set the search reaches is
+closure-downward-closed, so ancestor- and direct-predecessor-completeness
+coincide).  No per-check adjacency or predecessor map is rebuilt.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Set, Tuple
 
-from ..core.events import TxnId
+from ..core.events import INIT_TXN
 from ..core.history import History
+from .summaries import dense_summaries
 
 
 def satisfies_ser(history: History) -> bool:
     """Whether ``history`` is serializable."""
-    if not history.is_so_wr_acyclic():
+    matrix = history.causal_matrix()
+    if not matrix.is_acyclic():
         return False
 
-    txns = list(history.txns)
-    predecessors: Dict[TxnId, Set[TxnId]] = {tid: set() for tid in txns}
-    for src, succs in history.so_wr_adjacency().items():
-        for dst in succs:
-            predecessors[dst].add(src)
+    n = len(matrix)
+    ancestors, reads_of, writes_of, _write_mask, num_vars = dense_summaries(history, matrix)
 
-    # Per-transaction summaries used at each step of the search.
-    reads_of: Dict[TxnId, List[Tuple[str, TxnId]]] = {}
-    writes_of: Dict[TxnId, Tuple[str, ...]] = {}
-    variables: Set[str] = set()
-    for tid, log in history.txns.items():
-        reads_of[tid] = [
-            (event.var, history.wr[event.eid])
-            for event in log.reads()
-            if event.eid in history.wr
-        ]
-        writes_of[tid] = tuple(sorted(log.writes()))
-        variables.update(writes_of[tid])
-        variables.update(var for var, _ in reads_of[tid])
-    var_order = sorted(variables)
-    var_index = {var: i for i, var in enumerate(var_order)}
+    full = (1 << n) - 1
+    failed: Set[Tuple[int, Tuple[int, ...]]] = set()
 
-    all_txns: FrozenSet[TxnId] = frozenset(txns)
-    failed: Set[Tuple[FrozenSet[TxnId], Tuple[TxnId, ...]]] = set()
-
-    def search(committed: FrozenSet[TxnId], last_writer: Tuple[TxnId, ...]) -> bool:
-        if committed == all_txns:
+    def search(committed: int, last_writer: Tuple[int, ...]) -> bool:
+        if committed == full:
             return True
         state = (committed, last_writer)
         if state in failed:
             return False
-        for tid in txns:
-            if tid in committed or not predecessors[tid] <= committed:
+        for i in range(n):
+            if committed >> i & 1 or ancestors[i] & ~committed:
                 continue
             # The SER axiom: each external read must read from the latest
             # committed writer of its variable at this point.
-            if any(last_writer[var_index[var]] != src for var, src in reads_of[tid]):
+            if any(last_writer[var] != src for var, src in reads_of[i]):
                 continue
-            if writes_of[tid]:
+            if writes_of[i]:
                 updated = list(last_writer)
-                for var in writes_of[tid]:
-                    updated[var_index[var]] = tid
+                for var in writes_of[i]:
+                    updated[var] = i
                 next_writer = tuple(updated)
             else:
                 next_writer = last_writer
-            if search(committed | {tid}, next_writer):
+            if search(committed | (1 << i), next_writer):
                 return True
         failed.add(state)
         return False
 
     # init commits first and is the initial last-writer of every variable.
-    from ..core.events import INIT_TXN
-
-    initial_writer = tuple(INIT_TXN for _ in var_order)
-    return search(frozenset({INIT_TXN}), initial_writer)
+    init = matrix.index_of(INIT_TXN)
+    initial_writer = tuple(init for _ in range(num_vars))
+    return search(1 << init, initial_writer)

@@ -19,80 +19,73 @@ against the brute-force axiomatic checker in the tests.
 The search interleaves start/commit actions and memoizes failing states on
 ``(started, committed, last-writer map)`` — polynomial for a fixed number of
 sessions by the same frontier argument as the SER checker.
+
+Like the SER checker, the search runs on the dense indexing of the
+history's cached :class:`~repro.core.bitrel.RelationMatrix`: ``started``
+and ``committed`` are int bitmasks, start-eligibility is one word-parallel
+``ancestors_mask(t) & ~committed`` test against the maintained closure, and
+first-committer-wins is a write-footprint bitmask intersection over the
+active set.  No per-check adjacency or predecessor map is rebuilt.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Set, Tuple
 
-from ..core.events import INIT_TXN, TxnId
+from ..core.bitrel import iter_bits
+from ..core.events import INIT_TXN
 from ..core.history import History
+from .summaries import dense_summaries
 
 
 def satisfies_si(history: History) -> bool:
     """Whether ``history`` satisfies Snapshot Isolation."""
-    if not history.is_so_wr_acyclic():
+    matrix = history.causal_matrix()
+    if not matrix.is_acyclic():
         return False
 
-    txns = list(history.txns)
-    predecessors: Dict[TxnId, Set[TxnId]] = {tid: set() for tid in txns}
-    for src, succs in history.so_wr_adjacency().items():
-        for dst in succs:
-            predecessors[dst].add(src)
+    n = len(matrix)
+    ancestors, reads_of, writes_of, write_mask, num_vars = dense_summaries(history, matrix)
 
-    reads_of: Dict[TxnId, List[Tuple[str, TxnId]]] = {}
-    writes_of: Dict[TxnId, Tuple[str, ...]] = {}
-    variables: Set[str] = set()
-    for tid, log in history.txns.items():
-        reads_of[tid] = [
-            (event.var, history.wr[event.eid])
-            for event in log.reads()
-            if event.eid in history.wr
-        ]
-        writes_of[tid] = tuple(sorted(log.writes()))
-        variables.update(writes_of[tid])
-        variables.update(var for var, _ in reads_of[tid])
-    var_order = sorted(variables)
-    var_index = {var: i for i, var in enumerate(var_order)}
+    full = (1 << n) - 1
+    failed: Set[Tuple[int, int, Tuple[int, ...]]] = set()
 
-    all_txns: FrozenSet[TxnId] = frozenset(txns)
-    State = Tuple[FrozenSet[TxnId], FrozenSet[TxnId], Tuple[TxnId, ...]]
-    failed: Set[State] = set()
-
-    def search(started: FrozenSet[TxnId], committed: FrozenSet[TxnId], last_writer: Tuple[TxnId, ...]) -> bool:
-        if committed == all_txns:
+    def search(started: int, committed: int, last_writer: Tuple[int, ...]) -> bool:
+        if committed == full:
             return True
         state = (started, committed, last_writer)
         if state in failed:
             return False
-        active = started - committed
+        active = started & ~committed
         # Commit an active transaction.
-        for tid in active:
-            if writes_of[tid]:
+        for i in iter_bits(active):
+            if writes_of[i]:
                 updated = list(last_writer)
-                for var in writes_of[tid]:
-                    updated[var_index[var]] = tid
+                for var in writes_of[i]:
+                    updated[var] = i
                 next_writer = tuple(updated)
             else:
                 next_writer = last_writer
-            if search(started, committed | {tid}, next_writer):
+            if search(started, committed | (1 << i), next_writer):
                 return True
         # Start a new transaction whose causal predecessors have committed.
-        for tid in txns:
-            if tid in started or not predecessors[tid] <= committed:
+        active_writes = 0
+        for other in iter_bits(active):
+            active_writes |= write_mask[other]
+        for i in range(n):
+            if started >> i & 1 or ancestors[i] & ~committed:
                 continue
             # Snapshot reads: every external read sees the snapshot at start.
-            if any(last_writer[var_index[var]] != src for var, src in reads_of[tid]):
+            if any(last_writer[var] != src for var, src in reads_of[i]):
                 continue
             # First-committer-wins: no overlapping writer of a common variable.
-            if writes_of[tid]:
-                mine = set(writes_of[tid])
-                if any(mine.intersection(writes_of[other]) for other in active):
-                    continue
-            if search(started | {tid}, committed, last_writer):
+            if write_mask[i] & active_writes:
+                continue
+            if search(started | (1 << i), committed, last_writer):
                 return True
         failed.add(state)
         return False
 
-    initial_writer = tuple(INIT_TXN for _ in var_order)
-    return search(frozenset({INIT_TXN}), frozenset({INIT_TXN}), initial_writer)
+    init = matrix.index_of(INIT_TXN)
+    initial_writer = tuple(init for _ in range(num_vars))
+    return search(1 << init, 1 << init, initial_writer)

@@ -150,13 +150,24 @@ def valid_writes(
     ``h ⊕ e ⊕ wr(t, e)`` satisfies the isolation level.
 
     Returns (writer, extended history) pairs so callers don't re-extend.
+
+    Each candidate differs from ``history`` by one read event and one wr
+    edge over the *same* transaction set, so its ``so ∪ wr`` closure is the
+    base history's cached :class:`~repro.core.bitrel.RelationMatrix` plus a
+    single incremental ``add_edge`` — the candidates adopt that derived
+    matrix, and the consistency check below never rebuilds the relation.
     """
     assert action.is_external_read
+    base_matrix = history.causal_matrix()
     results: List[Tuple[TxnId, History]] = []
     for log in history.committed_transactions():
         if not log.writes_var(action.var):
             continue
         candidate = extend_history(history, action, log.tid)
+        derived = base_matrix.copy()
+        if log.tid != action.txn:
+            derived.add_edge(log.tid, action.txn)
+        candidate.adopt_causal_matrix(derived)
         if level.satisfies(candidate):
             results.append((log.tid, candidate))
     return results

@@ -1,0 +1,283 @@
+"""Tests for the bitset relation engine (repro.core.bitrel).
+
+Two halves:
+
+* property-style cross-checks of :class:`RelationMatrix` against the naive
+  dict-of-set DFS reference on random DAGs and cyclic graphs, including
+  incremental ``add_edge`` vs. full-recompute equivalence;
+* "single construction per check" regressions: the saturation, SER, SI and
+  DPOR call sites must reuse a history's cached matrix instead of
+  rebuilding adjacency per query (tracked via ``RelationMatrix.full_builds``).
+"""
+
+import random
+
+import pytest
+
+from repro.core.bitrel import RelationMatrix
+from repro.isolation import get_level
+from repro.isolation.axioms import AXIOMS_BY_LEVEL
+from repro.isolation.saturation import satisfies_by_saturation
+from repro.isolation.serializability import satisfies_ser
+from repro.isolation.snapshot import satisfies_si
+from repro.semantics.scheduler import next_action, valid_writes
+
+from tests.helpers import fig12_program, random_history
+
+# Naive references, deliberately independent of repro.core.relations (which
+# itself delegates to bitrel now).
+
+
+def naive_reachable(adj, start):
+    seen, stack = set(), list(adj[start])
+    while stack:
+        node = stack.pop()
+        if node not in seen:
+            seen.add(node)
+            stack.extend(adj[node])
+    return seen
+
+
+def naive_closure(adj):
+    return {node: naive_reachable(adj, node) for node in adj}
+
+
+def naive_acyclic(adj):
+    return all(node not in naive_reachable(adj, node) for node in adj)
+
+
+def random_graph(rng, cyclic_ok=True):
+    n = rng.randrange(1, 14)
+    limit = 2 * n if cyclic_ok else n
+    edges = set()
+    for _ in range(rng.randrange(0, limit)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if not cyclic_ok and u >= v:
+            continue  # forward edges only → DAG
+        edges.add((u, v))
+    adj = {i: set() for i in range(n)}
+    for u, v in edges:
+        adj[u].add(v)
+    return n, sorted(edges), adj
+
+
+class TestCrossChecks:
+    @pytest.mark.parametrize("cyclic_ok", [False, True], ids=["dags", "cyclic"])
+    def test_matches_naive_on_random_graphs(self, cyclic_ok):
+        rng = random.Random(20230729 + cyclic_ok)
+        for _ in range(200):
+            n, edges, adj = random_graph(rng, cyclic_ok)
+            matrix = RelationMatrix(range(n), edges)
+            assert matrix.transitive_closure() == naive_closure(adj)
+            assert matrix.is_acyclic() == naive_acyclic(adj)
+            for node in range(n):
+                assert matrix.descendants(node) == naive_reachable(adj, node)
+                assert matrix.ancestors(node) == {
+                    other for other in adj if node in naive_reachable(adj, other)
+                }
+
+    def test_incremental_add_edge_equals_full_recompute(self):
+        rng = random.Random(42)
+        for _ in range(150):
+            n, edges, _adj = random_graph(rng)
+            rng.shuffle(edges)
+            incremental = RelationMatrix(range(n))
+            for step, (u, v) in enumerate(edges):
+                expected_cycle = incremental.would_close_cycle(u, v)
+                incremental.add_edge(u, v)
+                rebuilt = RelationMatrix(range(n), edges[: step + 1])
+                assert incremental.transitive_closure() == rebuilt.transitive_closure()
+                assert incremental.is_acyclic() == rebuilt.is_acyclic()
+                if expected_cycle:
+                    assert not incremental.is_acyclic()
+
+    def test_reaches_and_reflexive(self):
+        matrix = RelationMatrix("abc", [("a", "b"), ("b", "c")])
+        assert matrix.reaches("a", "c") and not matrix.reaches("c", "a")
+        assert not matrix.reaches("a", "a")
+        assert matrix.reaches_reflexive("a", "a")
+
+    def test_self_loop_and_cycle_flags(self):
+        matrix = RelationMatrix(range(3), [(0, 1)])
+        assert matrix.is_acyclic()
+        assert matrix.would_close_cycle(1, 1)
+        assert matrix.would_close_cycle(1, 0)
+        assert not matrix.would_close_cycle(1, 2)
+        matrix.add_edge(1, 0)
+        assert not matrix.is_acyclic()
+        assert matrix.reaches(0, 0)
+
+    def test_redundant_edge_reports_no_change(self):
+        matrix = RelationMatrix(range(3), [(0, 1), (1, 2)])
+        assert matrix.add_edge(0, 2) is False, "edge already in the closure"
+        assert matrix.add_edge(2, 0) is True
+
+    def test_cached_history_matrix_is_frozen(self):
+        rng = random.Random(5)
+        history = random_history(rng)
+        cached = history.causal_matrix()
+        tids = list(history.txns)
+        with pytest.raises(ValueError, match="frozen"):
+            cached.add_edge(tids[0], tids[-1])
+        cached.copy().add_edge(tids[0], tids[-1])  # copies stay mutable
+        assert history.causal_matrix() is cached
+
+    def test_copy_is_independent(self):
+        base = RelationMatrix(range(3), [(0, 1)])
+        dup = base.copy()
+        dup.add_edge(1, 2)
+        assert dup.reaches(0, 2)
+        assert not base.reaches(0, 2)
+        assert base.transitive_closure() == RelationMatrix(range(3), [(0, 1)]).transitive_closure()
+
+    def test_masks_roundtrip(self):
+        matrix = RelationMatrix("xyz")
+        mask = matrix.mask_of("xz")
+        assert matrix.nodes_of_mask(mask) == {"x", "z"}
+        assert matrix.index_of("y") == 1 and matrix.node_at(1) == "y"
+        assert "y" in matrix and "w" not in matrix
+        assert len(matrix) == 3
+
+    def test_rejects_dangling_edges_and_duplicates(self):
+        with pytest.raises(ValueError):
+            RelationMatrix([1, 2], [(1, 3)])
+        with pytest.raises(ValueError):
+            RelationMatrix([1, 1])
+
+
+class TestSingleConstructionPerCheck:
+    """The checkers must not rebuild the so∪wr relation per query."""
+
+    def fresh_history(self, seed=7):
+        rng = random.Random(seed)
+        history = random_history(rng)
+        history.causal_matrix()  # warm the per-history cache
+        return history
+
+    def builds(self):
+        return RelationMatrix.full_builds
+
+    def test_saturation_builds_nothing_on_warm_history(self):
+        history = self.fresh_history()
+        for level in ("RC", "RA", "CC"):
+            before = self.builds()
+            satisfies_by_saturation(history, AXIOMS_BY_LEVEL[level])
+            assert self.builds() == before, f"{level} saturation rebuilt the relation"
+
+    def test_ser_and_si_build_nothing_on_warm_history(self):
+        history = self.fresh_history()
+        before = self.builds()
+        satisfies_ser(history)
+        satisfies_si(history)
+        assert self.builds() == before
+
+    def test_cold_check_builds_exactly_once(self):
+        from repro.core import History
+
+        rng = random.Random(11)
+        warm = random_history(rng)
+        history = History(warm.sessions, warm.txns, warm.wr)  # fresh, cache-cold
+        before = self.builds()
+        satisfies_by_saturation(history, AXIOMS_BY_LEVEL["CC"])
+        assert self.builds() == before + 1
+        satisfies_ser(history)
+        satisfies_si(history)
+        satisfies_by_saturation(history, AXIOMS_BY_LEVEL["RA"])
+        assert self.builds() == before + 1, "later checks must reuse the cached matrix"
+
+    def test_valid_writes_derives_candidate_matrices_incrementally(self):
+        """Every ValidWrites candidate adopts base-closure + one add_edge."""
+        from repro.semantics.scheduler import apply_action
+        from repro.core.ordered_history import OrderedHistory
+
+        program = fig12_program()
+        level = get_level("CC")
+        oh = OrderedHistory.initial(program.initial_history())
+        action = next_action(program, oh.history)
+        # Drive the scheduler until it proposes an external read.
+        while action is not None and not action.is_external_read:
+            oh = apply_action(oh, action)
+            action = next_action(program, oh.history)
+        assert action is not None and action.is_external_read
+        oh.history.causal_matrix()
+        before = self.builds()
+        choices = valid_writes(oh.history, action, level)
+        assert choices, "scheduler should offer at least the init writer"
+        assert self.builds() == before, "ValidWrites rebuilt a relation from scratch"
+        for _writer, candidate in choices:
+            assert candidate.is_so_wr_acyclic()  # served by the adopted matrix
+        assert self.builds() == before
+
+    def test_swap_candidates_share_one_matrix(self):
+        from repro.dpor.swaps import compute_reorderings, doomed_events
+        from repro.core.ordered_history import OrderedHistory
+        from repro.semantics.scheduler import apply_action
+        from repro.core.events import EventId
+
+        program = fig12_program()
+        level = get_level("CC")
+        oh = OrderedHistory.initial(program.initial_history())
+        action = next_action(program, oh.history)
+        while action is not None:
+            if action.is_external_read:
+                choices = valid_writes(oh.history, action, level)
+                eid = EventId(action.txn, len(oh.history.txns[action.txn].events))
+                oh = oh.extended(choices[0][1], eid)
+            else:
+                oh = apply_action(oh, action)
+            action = next_action(program, oh.history)
+        oh.history.causal_matrix()
+        before = self.builds()
+        pairs = compute_reorderings(oh)
+        for read, target in pairs:
+            doomed_events(oh, read, target)
+        assert self.builds() == before, "swap computation rebuilt the relation per pair"
+
+        # readLatest builds exactly one matrix (the pruned history's) per
+        # call; every writer candidate adopts pruned-closure + add_edge.
+        from repro.dpor.optimality import read_latest
+
+        assert pairs, "fig12 must offer at least one reordering here"
+        before = self.builds()
+        for read, target in pairs:
+            read_latest(oh, read, target, level)
+        assert self.builds() == before + len(pairs), (
+            "read_latest must build one matrix per pruning, none per candidate"
+        )
+
+
+class TestHistoryIntegration:
+    """The matrix-backed History queries agree with the exclude_read DFS path."""
+
+    def test_causal_past_excludes_self_on_cyclic_history(self):
+        """Both causal_past branches agree even when so∪wr is cyclic."""
+        from repro.core import History
+        from repro.core.events import Event, EventId, EventType
+
+        h = History.initial(["x"])
+        h, t1 = h.begin_transaction("s")
+        h = h.append_event("s", Event(EventId(t1, 1), EventType.READ, "x", 1))
+        h = h.append_event("s", Event(EventId(t1, 2), EventType.COMMIT))
+        h, t2 = h.begin_transaction("s")
+        h = h.append_event("s", Event(EventId(t2, 1), EventType.WRITE, "x", 1))
+        h = h.append_event("s", Event(EventId(t2, 2), EventType.COMMIT))
+        h = h.add_wr(t2, EventId(t1, 1))  # wr opposes so: cycle t1 ⇄ t2
+        assert not h.is_so_wr_acyclic()
+        for tid in (t1, t2):
+            fast = h.causal_past(tid)
+            assert tid not in fast
+            # exclude_read on an eid outside wr keeps the same graph.
+            assert fast == h.causal_past(tid, exclude_read=EventId(t2, 1))
+
+    def test_causal_queries_match_dfs_fallback(self):
+        rng = random.Random(3)
+        for _ in range(25):
+            history = random_history(rng)
+            adj = history.so_wr_adjacency()
+            matrix = history.causal_matrix()
+            assert matrix.is_acyclic() == history.is_so_wr_acyclic()
+            for a in history.txns:
+                assert matrix.descendants(a) == naive_reachable(adj, a)
+                assert history.causal_past(a) == {
+                    t for t in adj if t != a and a in naive_reachable(adj, t)
+                }

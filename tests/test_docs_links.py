@@ -1,0 +1,40 @@
+"""Documentation regressions: README/docs exist and their links resolve."""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "scripts"))
+
+from check_links import broken_links, markdown_files  # noqa: E402
+
+
+def test_readme_and_architecture_exist():
+    assert (ROOT / "README.md").exists()
+    assert (ROOT / "docs" / "architecture.md").exists()
+
+
+def test_no_broken_relative_links():
+    assert broken_links(ROOT) == []
+
+
+def test_markdown_files_include_docs_tree():
+    files = {p.relative_to(ROOT).as_posix() for p in markdown_files(ROOT)}
+    assert "README.md" in files
+    assert "docs/architecture.md" in files
+
+
+def test_readme_mapping_table_covers_every_package():
+    """The module ↔ paper table must name every src/repro package."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    packages = {
+        child.name
+        for child in (ROOT / "src" / "repro").iterdir()
+        if child.is_dir() and (child / "__init__.py").exists()
+    }
+    assert packages, "src/repro packages should exist"
+    for package in packages:
+        assert re.search(rf"`repro\.{package}`", readme), (
+            f"README mapping table is missing the repro.{package} package"
+        )

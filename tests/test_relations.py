@@ -97,3 +97,15 @@ class TestDownwardClosed:
         adj = chain(3)
         assert downward_closed(set(), adj)
         assert downward_closed({0, 1, 2}, adj)
+
+
+class TestDanglingSuccessors:
+    """Successors absent from the key set: ``transitive_closure`` must keep
+    tolerating them (the old DFS did); ``is_acyclic`` now tolerates them
+    too (the old three-colour DFS raised ``KeyError``)."""
+
+    def test_transitive_closure_with_dangling_successor(self):
+        assert transitive_closure({"a": {"b"}}) == {"a": {"b"}}
+
+    def test_is_acyclic_with_dangling_successor(self):
+        assert is_acyclic({"a": {"b"}})
