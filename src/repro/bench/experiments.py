@@ -64,10 +64,11 @@ def fig14(
     programs_per_app: int = 5,
     timeout: Optional[float] = 60.0,
     algorithms: Sequence[str] = FIG14_ALGORITHMS,
+    workers: int = 1,
 ) -> Fig14Result:
     """Fig. 14: compare the seven algorithm configurations on the app suite."""
     suite = application_suite(sessions, txns_per_session, programs_per_app)
-    records = run_suite(suite, algorithms, timeout=timeout)
+    records = run_suite(suite, algorithms, timeout=timeout, workers=workers)
     time_data = CactusData("time_s")
     memory_data = CactusData("peak_heap_kb")
     end_data = CactusData("end_states")
@@ -141,10 +142,11 @@ def table_f1(
     programs_per_app: int = 5,
     timeout: Optional[float] = 60.0,
     algorithms: Sequence[str] = FIG14_ALGORITHMS,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, RunRecord]]:
     """Table F.1: per-program rows for every algorithm configuration."""
     suite = application_suite(sessions, txns_per_session, programs_per_app)
-    return run_suite(suite, algorithms, timeout=timeout)
+    return run_suite(suite, algorithms, timeout=timeout, workers=workers)
 
 
 def table_f2(

@@ -36,12 +36,15 @@ class RunRecord:
     peak_stack: int
     peak_live_events: int
     peak_heap_bytes: int
+    #: Worker processes used by the exploration (1 = in-process).
+    workers: int = 1
 
     def row(self) -> Dict[str, object]:
         """Flat dict for table rendering."""
         return {
             "program": self.program,
             "algorithm": self.algorithm,
+            "workers": self.workers,
             "histories": self.histories,
             "end_states": self.end_states,
             "time_s": round(self.seconds, 4),
@@ -51,8 +54,8 @@ class RunRecord:
         }
 
 
-#: An algorithm is a callable (program, timeout) → RunRecord.
-Algorithm = Callable[[Program, Optional[float]], RunRecord]
+#: An algorithm is a callable (program, timeout, workers=1) → RunRecord.
+Algorithm = Callable[[Program, Optional[float], int], RunRecord]
 
 
 def _measure(fn: Callable[[], RunRecord]) -> RunRecord:
@@ -69,11 +72,15 @@ def _measure(fn: Callable[[], RunRecord]) -> RunRecord:
 def _dpor_algorithm(
     label: str, explore_level: str, valid_level: Optional[str]
 ) -> Algorithm:
-    def run(program: Program, timeout: Optional[float]) -> RunRecord:
+    def run(program: Program, timeout: Optional[float], workers: int = 1) -> RunRecord:
         def body() -> RunRecord:
             if valid_level is None:
                 result = explore_ce(
-                    program, explore_level, collect_histories=False, timeout=timeout
+                    program,
+                    explore_level,
+                    collect_histories=False,
+                    timeout=timeout,
+                    workers=workers,
                 )
             else:
                 result = explore_ce_star(
@@ -82,6 +89,7 @@ def _dpor_algorithm(
                     valid_level,
                     collect_histories=False,
                     timeout=timeout,
+                    workers=workers,
                 )
             stats = result.stats
             return RunRecord(
@@ -96,6 +104,7 @@ def _dpor_algorithm(
                 peak_stack=stats.peak_stack,
                 peak_live_events=stats.peak_live_events,
                 peak_heap_bytes=0,
+                workers=workers,
             )
 
         return _measure(body)
@@ -104,7 +113,9 @@ def _dpor_algorithm(
 
 
 def _dfs_algorithm(label: str, level: str) -> Algorithm:
-    def run(program: Program, timeout: Optional[float]) -> RunRecord:
+    def run(program: Program, timeout: Optional[float], workers: int = 1) -> RunRecord:
+        # The DFS baseline has no parallel driver; ``workers`` is accepted
+        # for a uniform Algorithm signature and recorded as 1.
         def body() -> RunRecord:
             result = dfs_baseline(program, level, timeout=timeout)
             return RunRecord(
@@ -142,9 +153,12 @@ def run_suite(
     programs: Sequence[Program],
     algorithms: Sequence[str],
     timeout: Optional[float] = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, RunRecord]]:
     """Run each named algorithm on each program.
 
+    ``workers`` > 1 runs each DPOR exploration on a process pool of that
+    size (0 = one per CPU); the DFS baseline always runs in-process.
     Returns ``records[algorithm][program_name]``.
     """
     records: Dict[str, Dict[str, RunRecord]] = {}
@@ -152,6 +166,6 @@ def run_suite(
         algorithm = ALGORITHMS[name]
         per_program: Dict[str, RunRecord] = {}
         for program in programs:
-            per_program[program.name] = algorithm(program, timeout)
+            per_program[program.name] = algorithm(program, timeout, workers)
         records[name] = per_program
     return records

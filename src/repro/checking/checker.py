@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..dpor.explore import SwappingExplorer
+from ..dpor.parallel import ParallelExplorer, resolve_workers
 from ..isolation.base import IsolationLevel, get_level
 from ..lang.program import Program
 from ..semantics.enumerate import enumerate_histories
@@ -27,6 +28,27 @@ from .assertions import Assertion
 from .result import CheckResult, Outcome, Violation
 
 LevelLike = Union[str, IsolationLevel]
+
+
+def _normalize_keep_outcomes(keep_outcomes: Union[bool, int]) -> Tuple[bool, Optional[int]]:
+    """``keep_outcomes`` → ``(collect, cap)``.
+
+    ``True`` keeps every outcome (no cap), ``False`` keeps none
+    (``result.outcomes is None``), and an integer ``n >= 0`` keeps at most
+    ``n`` — ``0`` meaning "collect but keep none" (``result.outcomes ==
+    []``, distinguishable from not collecting at all).  Negative caps are
+    rejected.  Booleans are checked identity-first because ``bool`` is an
+    ``int`` subtype, which previously conflated ``0`` with ``False`` and
+    cap handling with ``True``.
+    """
+    if keep_outcomes is True:
+        return True, None
+    if keep_outcomes is False:
+        return False, None
+    cap = int(keep_outcomes)
+    if cap < 0:
+        raise ValueError(f"keep_outcomes must be a bool or a cap >= 0, got {cap}")
+    return True, cap
 
 
 class ModelChecker:
@@ -44,6 +66,11 @@ class ModelChecker:
         (default CC).
     method:
         ``"dpor"`` (default) or ``"dfs"`` for the baseline.
+    workers:
+        Process count for the exploration: ``1`` (default) runs in-process,
+        ``0`` means one worker per CPU, and any N > 1 spreads the DPOR
+        exploration over a pool of N processes with identical results
+        (``method="dfs"`` always runs in-process).
     """
 
     def __init__(
@@ -52,6 +79,7 @@ class ModelChecker:
         isolation: LevelLike = "SER",
         base: Optional[LevelLike] = None,
         method: str = "dpor",
+        workers: int = 1,
     ):
         self.program = program
         self.level = get_level(isolation) if isinstance(isolation, str) else isolation
@@ -66,6 +94,7 @@ class ModelChecker:
         if method not in ("dpor", "dfs"):
             raise ValueError(f"unknown method {method!r}")
         self.method = method
+        self.workers = resolve_workers(workers)
 
     # -- running ------------------------------------------------------------------
 
@@ -78,14 +107,16 @@ class ModelChecker:
     ) -> CheckResult:
         """Enumerate all histories and evaluate the assertions.
 
-        ``keep_outcomes`` retains outcome objects for inspection (``True``
-        for all, or an integer cap).  ``max_violations`` stops collecting
-        witnesses (not exploring) beyond the given count.
+        ``keep_outcomes`` retains outcome objects for inspection: ``True``
+        for all, ``False`` for none, or an integer cap (``0`` keeps none
+        but still yields an empty list; negative caps are rejected).
+        ``max_violations`` stops collecting witnesses (not exploring)
+        beyond the given count.
         """
         checks: List[Assertion] = list(assertions)
         violations: List[Violation] = []
-        outcomes: Optional[List[Outcome]] = [] if keep_outcomes else None
-        outcome_cap = None if keep_outcomes is True else keep_outcomes
+        collect_outcomes, outcome_cap = _normalize_keep_outcomes(keep_outcomes)
+        outcomes: Optional[List[Outcome]] = [] if collect_outcomes else None
         count = 0
 
         def on_history(history) -> None:
@@ -117,13 +148,16 @@ class ModelChecker:
                 outcomes=outcomes,
             )
 
-        explorer = SwappingExplorer(
+        explorer_cls = SwappingExplorer if self.workers == 1 else ParallelExplorer
+        explorer_kwargs = {} if self.workers == 1 else {"workers": self.workers}
+        explorer = explorer_cls(
             self.program,
             self.base or self.level,
             valid_level=self.level if self.base is not None else None,
             on_output=on_history,
             collect_histories=False,
             timeout=timeout,
+            **explorer_kwargs,
         )
         run = explorer.run()
         return CheckResult(
@@ -154,7 +188,10 @@ def check_program(
     program: Program,
     isolation: LevelLike,
     assertions: Sequence[Assertion] = (),
+    workers: int = 1,
     **kwargs,
 ) -> CheckResult:
     """One-shot convenience wrapper around :class:`ModelChecker`."""
-    return ModelChecker(program, isolation).run(assertions=assertions, **kwargs)
+    return ModelChecker(program, isolation, workers=workers).run(
+        assertions=assertions, **kwargs
+    )

@@ -51,7 +51,9 @@ def _read_program(path: str):
 
 def _cmd_check(args: argparse.Namespace) -> int:
     program = _read_program(args.file)
-    checker = ModelChecker(program, isolation=args.isolation, method=args.method)
+    checker = ModelChecker(
+        program, isolation=args.isolation, method=args.method, workers=args.workers
+    )
     shown = 0
     result = checker.run(timeout=args.timeout, keep_outcomes=bool(args.show_histories or args.dot))
     print(result.summary())
@@ -101,6 +103,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         txns_per_session=args.txns,
         programs_per_app=args.programs,
         timeout=args.timeout,
+        workers=args.workers,
     )
     print(render_fig14(result))
     return 0
@@ -119,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--isolation", default="SER", help="RC|RA|CC|SI|SER|TRUE (default SER)")
     check.add_argument("--method", default="dpor", choices=("dpor", "dfs"))
     check.add_argument("--timeout", type=float, default=None, help="seconds")
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="exploration worker processes (default 1 = in-process, 0 = one per CPU)",
+    )
     check.add_argument("--show-histories", action="store_true", help="print each history")
     check.add_argument("--dot", metavar="PREFIX", help="write Graphviz files PREFIX-<i>.dot")
     check.set_defaults(fn=_cmd_check)
@@ -133,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--txns", type=int, default=2)
     bench.add_argument("--programs", type=int, default=2)
     bench.add_argument("--timeout", type=float, default=30.0)
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="exploration worker processes per run (default 1, 0 = one per CPU)",
+    )
     bench.set_defaults(fn=_cmd_bench)
     return parser
 

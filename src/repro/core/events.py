@@ -97,6 +97,11 @@ class Event:
             return f"write({self.var},{self.value!r})@{self.eid!r}"
         return f"{self.type.value}@{self.eid!r}"
 
+    def __reduce__(self):
+        # Positional-args reconstruction: cheaper to pickle than the default
+        # per-field state dict (events dominate cross-process payloads).
+        return (Event, (self.eid, self.type, self.var, self.value, self.local))
+
     @property
     def is_external_read(self) -> bool:
         """READ event that takes part in the write-read relation."""

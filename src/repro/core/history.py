@@ -450,6 +450,28 @@ class History:
         """``t`` is (so ∪ wr)+-maximal in h (paper §3.2)."""
         return self.causal_matrix().descendants_mask(tid) == 0
 
+    # -- cross-process shipping ---------------------------------------------------
+
+    def to_wire(self):
+        """Compact tuple encoding (see :mod:`repro.core.wire`)."""
+        from .wire import history_to_wire
+
+        return history_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, wire) -> "History":
+        from .wire import history_from_wire
+
+        return history_from_wire(wire)
+
+    def __reduce__(self):
+        # Route pickling through the wire encoding: drops the cached
+        # RelationMatrix closure (rebuilt lazily by the receiver) and the
+        # per-event dataclass overhead.
+        from .wire import history_from_wire
+
+        return (history_from_wire, (self.to_wire(),))
+
     # -- structural equivalence --------------------------------------------------
 
     def canonical_key(self) -> Tuple:

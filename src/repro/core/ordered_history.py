@@ -43,12 +43,49 @@ class OrderedHistory:
         return cls(history, order)
 
     def extended(self, history: History, eid: EventId) -> "OrderedHistory":
-        """``(h, <) ⊕ e``: new ordered history with ``eid`` appended to ``<``."""
-        return OrderedHistory(history, self.order + (eid,))
+        """``(h, <) ⊕ e``: new ordered history with ``eid`` appended to ``<``.
+
+        The parent's position index (if already built) is *shared* with the
+        child and extended by the one appended event, instead of the child
+        rebuilding it from scratch on its first query — the exploration
+        extends long chains of histories one event at a time, so rebuilding
+        made position queries O(n) per node.  Sharing is sound because
+        lookups verify ``order[i] == eid`` (see :meth:`index`): when sibling
+        branches later diverge and map the same event id to different
+        positions, the mismatching branch detects it and rebuilds privately.
+        """
+        child = OrderedHistory(history, self.order + (eid,))
+        index = self._index
+        if index is not None:
+            # setdefault: never clobber a sibling chain's entry — a stale or
+            # foreign entry is caught by the lookup guard, an overwritten one
+            # would corrupt the sibling silently.
+            index.setdefault(eid, len(self.order))
+            child._index = index
+        return child
 
     def replaced(self, history: History) -> "OrderedHistory":
         """Same order, updated history (used when only wr/values changed)."""
-        return OrderedHistory(history, self.order)
+        replacement = OrderedHistory(history, self.order)
+        replacement._index = self._index
+        return replacement
+
+    def to_wire(self):
+        """Compact tuple encoding (see :mod:`repro.core.wire`)."""
+        from .wire import ordered_history_to_wire
+
+        return ordered_history_to_wire(self)
+
+    @classmethod
+    def from_wire(cls, wire) -> "OrderedHistory":
+        from .wire import ordered_history_from_wire
+
+        return ordered_history_from_wire(wire)
+
+    def __reduce__(self):
+        from .wire import ordered_history_from_wire
+
+        return (ordered_history_from_wire, (self.to_wire(),))
 
     def causal_matrix(self) -> RelationMatrix:
         """The history's cached ``so ∪ wr`` closure (see ``History.causal_matrix``).
@@ -63,8 +100,19 @@ class OrderedHistory:
     # -- position queries ---------------------------------------------------------
 
     def index(self, eid: EventId) -> int:
-        if self._index is None:
-            self._index = {e: i for i, e in enumerate(self.order)}
+        index = self._index
+        if index is not None:
+            i = index.get(eid)
+            if i is not None and i < len(self.order) and self.order[i] == eid:
+                return i
+            if i is None and len(index) >= len(self.order):
+                # The shared dict covers every position of this order (it
+                # only ever lags by the entries a parent hadn't appended),
+                # so an absent key means the event is genuinely not in <.
+                raise KeyError(eid)
+        # First query, or the shared index diverged on this branch: build a
+        # private exact index.
+        self._index = {e: i for i, e in enumerate(self.order)}
         return self._index[eid]
 
     def before(self, first: EventId, second: EventId) -> bool:

@@ -1,0 +1,110 @@
+"""Compact cross-process encoding of histories and ordered histories.
+
+The parallel exploration driver ships work items (ordered histories) and
+output histories between the coordinator and worker processes.  Pickling
+the object graphs directly is wasteful: every :class:`~repro.core.events.Event`
+drags its nested ``EventId``/``TxnId`` dataclasses, and a history's cached
+:class:`~repro.core.bitrel.RelationMatrix` closure is pure dead weight on
+the wire (the receiver rebuilds it lazily on first causality query anyway).
+
+The wire format here is plain tuples of ints, strings and event payloads:
+
+* a **transaction table** — ``(session, index)`` pairs in the history's
+  transaction-dict insertion order (the order ``RelationMatrix`` indexing
+  and ``adopt_causal_matrix`` depend on, so it must survive the round
+  trip);
+* per-table-entry **event tuples** ``(type_code, var, value, local)`` —
+  event ids are implicit (table position + program-order position);
+* the **wr relation** as ``(reader_index, read_pos, writer_index)`` triples;
+* the **session map** as ``(session, transaction_count)`` pairs (session
+  transaction ids are always ``0..n-1``, so the count suffices);
+* for ordered histories, the order ``<`` as ``(txn_index, pos)`` pairs.
+
+``History``, ``OrderedHistory`` and ``Event`` install ``__reduce__`` hooks
+that route plain ``pickle`` through this encoding, so multiprocessing
+queues get the compact form with no cooperation from callers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .events import Event, EventId, EventType, TxnId
+from .history import History, TransactionLog
+from .ordered_history import OrderedHistory
+
+#: Stable small-int codes for event types (order of declaration in EventType).
+_TYPE_CODE: Dict[EventType, int] = {t: i for i, t in enumerate(EventType)}
+_CODE_TYPE: Tuple[EventType, ...] = tuple(EventType)
+
+#: ``(sessions, txn_table, logs, wr)`` — see the module docstring.
+HistoryWire = Tuple[Tuple, Tuple, Tuple, Tuple]
+#: ``(history_wire, order)``.
+OrderedHistoryWire = Tuple[HistoryWire, Tuple]
+
+
+def history_to_wire(history: History) -> HistoryWire:
+    """Encode a history as nested tuples of ints/strings/values."""
+    txn_ids = tuple(history.txns)
+    txn_index = {tid: i for i, tid in enumerate(txn_ids)}
+    table = tuple((tid.session, tid.index) for tid in txn_ids)
+    logs = tuple(
+        tuple(
+            (_TYPE_CODE[e.type], e.var, e.value, e.local)
+            for e in history.txns[tid].events
+        )
+        for tid in txn_ids
+    )
+    wr = tuple(
+        (txn_index[read.txn], read.pos, txn_index[writer])
+        for read, writer in history.wr.items()
+    )
+    sessions = tuple((session, len(order)) for session, order in history.sessions.items())
+    return (sessions, table, logs, wr)
+
+
+def history_from_wire(wire: HistoryWire) -> History:
+    """Rebuild a history; the cached relation matrix is *not* restored."""
+    sessions_wire, table, logs, wr_wire = wire
+    tids = tuple(TxnId(session, index) for session, index in table)
+    txns: Dict[TxnId, TransactionLog] = {}
+    for tid, log in zip(tids, logs):
+        events = tuple(
+            Event(EventId(tid, pos), _CODE_TYPE[code], var, value, local)
+            for pos, (code, var, value, local) in enumerate(log)
+        )
+        txns[tid] = TransactionLog(tid, events)
+    sessions = {
+        session: tuple(TxnId(session, i) for i in range(count))
+        for session, count in sessions_wire
+    }
+    wr = {
+        EventId(tids[reader], pos): tids[writer]
+        for reader, pos, writer in wr_wire
+    }
+    return History(sessions, txns, wr)
+
+
+def ordered_history_to_wire(oh: OrderedHistory) -> OrderedHistoryWire:
+    """Encode an ordered history: history wire + ``<`` as index pairs."""
+    history_wire = history_to_wire(oh.history)
+    txn_index = {tid: i for i, tid in enumerate(oh.history.txns)}
+    order = tuple((txn_index[eid.txn], eid.pos) for eid in oh.order)
+    return (history_wire, order)
+
+
+def ordered_history_from_wire(wire: OrderedHistoryWire) -> OrderedHistory:
+    history_wire, order_wire = wire
+    history = history_from_wire(history_wire)
+    tids = tuple(history.txns)
+    order = [EventId(tids[txn_i], pos) for txn_i, pos in order_wire]
+    return OrderedHistory(history, order)
+
+
+def encode_items(items: List[Tuple[int, OrderedHistory]]) -> List[Tuple[int, OrderedHistoryWire]]:
+    """Encode a batch of work-stack items (kind, ordered history)."""
+    return [(kind, ordered_history_to_wire(oh)) for kind, oh in items]
+
+
+def decode_items(items: List[Tuple[int, OrderedHistoryWire]]) -> List[Tuple[int, OrderedHistory]]:
+    return [(kind, ordered_history_from_wire(wire)) for kind, wire in items]

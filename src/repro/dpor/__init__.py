@@ -1,8 +1,9 @@
 """Swapping-based DPOR model checking (paper §4-§6)."""
 
 from .algorithms import dfs_baseline, explore_ce, explore_ce_star
-from .explore import ExplorationResult, SwappingExplorer
+from .explore import ExplorationResult, StepEngine, SwappingExplorer
 from .optimality import is_swapped, optimality, read_latest
+from .parallel import ParallelExplorer, resolve_workers
 from .stats import ExplorationStats
 from .swaps import compute_reorderings, swap
 
@@ -11,6 +12,9 @@ __all__ = [
     "explore_ce",
     "explore_ce_star",
     "ExplorationResult",
+    "ParallelExplorer",
+    "resolve_workers",
+    "StepEngine",
     "SwappingExplorer",
     "is_swapped",
     "optimality",

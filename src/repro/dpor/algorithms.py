@@ -15,6 +15,7 @@ from ..isolation.base import IsolationLevel, get_level
 from ..lang.program import Program
 from ..semantics.enumerate import EnumerationResult, enumerate_histories
 from .explore import ExplorationResult, SwappingExplorer
+from .parallel import ParallelExplorer
 
 LevelLike = Union[str, IsolationLevel]
 
@@ -23,29 +24,45 @@ def _resolve(level: LevelLike) -> IsolationLevel:
     return get_level(level) if isinstance(level, str) else level
 
 
-def explore_ce(program: Program, level: LevelLike = "CC", **kwargs) -> ExplorationResult:
+def _make_explorer(program, level, workers: int = 1, **kwargs):
+    if workers == 1:
+        return SwappingExplorer(program, level, **kwargs)
+    return ParallelExplorer(program, level, workers=workers, **kwargs)
+
+
+def explore_ce(
+    program: Program, level: LevelLike = "CC", workers: int = 1, **kwargs
+) -> ExplorationResult:
     """Run ``explore-ce(level)`` on ``program`` (Theorem 5.1).
 
     ``level`` must be prefix-closed and causally extensible (RC/RA/CC/true).
-    Keyword arguments are forwarded to :class:`SwappingExplorer`.
+    ``workers`` > 1 (or 0 for one per CPU) spreads the exploration over a
+    process pool (:class:`ParallelExplorer`) with identical outputs.
+    Keyword arguments are forwarded to the explorer.
     """
-    return SwappingExplorer(program, _resolve(level), **kwargs).run()
+    return _make_explorer(program, _resolve(level), workers=workers, **kwargs).run()
 
 
 def explore_ce_star(
     program: Program,
     explore_level: LevelLike = "CC",
     valid_level: LevelLike = "SER",
+    workers: int = 1,
     **kwargs,
 ) -> ExplorationResult:
     """Run ``explore-ce*(explore_level, valid_level)`` (Corollary 6.2).
 
     Explores under the weaker ``explore_level`` and filters outputs with
     ``valid_level`` — sound, complete and (plain) optimal for the stronger
-    level, e.g. ``explore_ce_star(p, "CC", "SI")``.
+    level, e.g. ``explore_ce_star(p, "CC", "SI")``.  ``workers`` as in
+    :func:`explore_ce`.
     """
-    return SwappingExplorer(
-        program, _resolve(explore_level), valid_level=_resolve(valid_level), **kwargs
+    return _make_explorer(
+        program,
+        _resolve(explore_level),
+        valid_level=_resolve(valid_level),
+        workers=workers,
+        **kwargs,
     ).run()
 
 

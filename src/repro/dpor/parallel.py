@@ -1,0 +1,344 @@
+"""Multiprocess work-sharing driver for the swapping-based exploration.
+
+The ``explore``/``exploreSwaps`` recursion decomposes perfectly: every
+continuation pushed by a step roots a *disjoint* subtree of the history
+space, and subtrees communicate nothing — only output histories and
+statistics flow back.  :class:`ParallelExplorer` exploits this to spread
+one exploration over a pool of worker processes while producing **exactly
+the same set of canonical output histories and the same counter totals**
+as the sequential :class:`~repro.dpor.explore.SwappingExplorer`:
+
+1. **Seeding.**  The coordinator expands the tree breadth-first (using the
+   same :class:`~repro.dpor.explore.StepEngine` as the serial driver) until
+   the frontier holds a few work items per worker — shallow nodes rooting
+   the largest subtrees.
+
+2. **Fan-out with work sharing.**  Frontier items are encoded with the
+   compact wire format of :mod:`repro.core.wire` and handed to the pool one
+   seed per task.  A worker explores its subtree depth-first with a local
+   LIFO stack; when the stack exceeds ``split_threshold`` it strips the
+   *bottom* (shallowest) half into an overflow list, and when its tick
+   budget expires it stops — both the overflow and any unfinished stack
+   come back to the coordinator as new frontier items, so skewed subtrees
+   rebalance across the pool instead of serialising on one process.
+
+3. **Deterministic merging.**  Outputs are deduplicated into one
+   :class:`~repro.core.canonical.HistorySet` keyed by canonical history
+   keys (subtrees are disjoint, so an optimal exploration stays optimal —
+   no class is ever shipped twice), and per-worker
+   :class:`~repro.dpor.stats.ExplorationStats` are summed with
+   :meth:`~repro.dpor.stats.ExplorationStats.merge`.  Because every node of
+   the recursion tree is stepped exactly once by *somebody*, all additive
+   counters (``outputs``, ``filtered``, ``blocked``, ``explore_calls``, …)
+   equal the serial run's; only scheduling-dependent gauges
+   (``peak_stack``, ``peak_live_events``, ``seconds``) differ.  The arrival *order* of outputs is nondeterministic
+   — consumers needing a canonical order should sort by
+   :meth:`~repro.core.history.History.canonical_key`.
+
+Timeouts are propagated: each task receives the time remaining at submit
+and its worker checks the deadline on **every** tick (the serial driver
+polls every 32), so a parallel run overshoots ``timeout`` by at most one
+step per worker; the merged stats report ``timed_out`` if any participant
+expired.
+
+The pool uses the ``fork`` start method so workers inherit the program and
+engine by memory sharing — programs may close over lambdas (the application
+workloads do), which do not pickle.  Where ``fork`` is unavailable
+(Windows), the coordinator degrades to exploring the frontier itself; the
+result is still exact, just sequential.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from itertools import count
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.canonical import HistorySet
+from ..core.history import History
+from ..core.wire import decode_items, encode_items
+from ..isolation.base import IsolationLevel
+from ..lang.program import Program
+from .explore import (
+    ExplorationResult,
+    StepEngine,
+    WorkItem,
+    algorithm_name,
+    validate_levels,
+)
+from .stats import ExplorationStats
+
+#: Engines shared with forked workers, keyed by a per-run token.  Workers
+#: inherit the registry at fork time and look their engine up by the token
+#: in each task payload, so concurrent ParallelExplorer runs in one process
+#: (e.g. from a threaded harness) cannot cross-wire configurations.
+_ENGINES: Dict[int, StepEngine] = {}
+_ENGINE_TOKENS = count()
+
+
+def _forkable() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: int) -> int:
+    """Normalize a ``workers`` request: ``0`` means one per CPU."""
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _subtree_task(payload: Tuple) -> Tuple:
+    """Explore (part of) a subtree inside a worker process.
+
+    Returns ``(pid, stats, outputs, returned_frontier, timed_out)`` where
+    ``returned_frontier`` holds wire-encoded work items the worker gave
+    back for rebalancing (stack overflow and/or tick-budget remainder).
+    """
+    token, items_wire, task_ticks, split_threshold, time_left, ship_outputs = payload
+    engine = _ENGINES.get(token)
+    assert engine is not None, "worker started without an engine (fork-only pool)"
+    deadline = time.monotonic() + time_left if time_left is not None else None
+    stats = ExplorationStats()
+    stack: List[WorkItem] = decode_items(items_wire)
+    live_events = sum(item[1].history.event_count() for item in stack)
+    overflow: List[WorkItem] = []
+    outputs: List[History] = []
+    ticks = 0
+    timed_out = False
+    while stack:
+        # Deadline first, every tick: a parallel run must honor the overall
+        # timeout within one step granularity (the coordinator cannot
+        # interrupt a busy worker).
+        if deadline is not None and time.monotonic() > deadline:
+            timed_out = True
+            stack.clear()
+            break
+        ticks += 1
+        if ticks > task_ticks:
+            break  # return the remainder for rebalancing
+        kind, oh = stack.pop()
+        live_events -= oh.history.event_count()
+        pushed, outs = engine.step(oh, kind, stats)
+        if ship_outputs:
+            outputs.extend(outs)
+        stack.extend(reversed(pushed))
+        live_events += sum(item[1].history.event_count() for item in pushed)
+        if len(stack) > stats.peak_stack:
+            stats.peak_stack = len(stack)
+        if live_events > stats.peak_live_events:
+            stats.peak_live_events = live_events
+        if len(stack) > split_threshold:
+            # Work sharing: hand the *shallowest* half back — bottom-of-stack
+            # entries root the largest remaining subtrees, exactly what idle
+            # workers want.
+            cut = len(stack) // 2
+            overflow.extend(stack[:cut])
+            del stack[:cut]
+            live_events = sum(item[1].history.event_count() for item in stack)
+    returned = encode_items(overflow + stack) if (overflow or stack) and not timed_out else []
+    return (os.getpid(), stats, outputs if ship_outputs else [], returned, timed_out)
+
+
+class ParallelExplorer:
+    """One configured multiprocess run of the swapping-based exploration.
+
+    Accepts the same configuration as
+    :class:`~repro.dpor.explore.SwappingExplorer` plus:
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``0`` means ``os.cpu_count()``.  With ``1``
+        (or where ``fork`` is unavailable) no pool is created and the
+        coordinator explores everything itself — same results, one
+        process.
+    seed_factor:
+        Seed the frontier with about ``seed_factor`` work items per worker
+        before fanning out.
+    task_ticks:
+        Steps a worker performs per task before returning its remaining
+        stack for rebalancing.
+    split_threshold:
+        Local stack size beyond which a worker sheds its shallowest half
+        back to the coordinator.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        level: IsolationLevel,
+        valid_level: Optional[IsolationLevel] = None,
+        on_output: Optional[Callable[[History], None]] = None,
+        collect_histories: bool = True,
+        check_invariants: bool = False,
+        timeout: Optional[float] = None,
+        allow_any_level: bool = False,
+        restrict_swaps: bool = True,
+        workers: int = 0,
+        seed_factor: int = 4,
+        task_ticks: int = 2048,
+        split_threshold: int = 128,
+    ):
+        validate_levels(level, valid_level, allow_any_level)
+        self.program = program
+        self.level = level
+        self.valid_level = valid_level
+        self.on_output = on_output
+        self.collect_histories = collect_histories
+        self.check_invariants = check_invariants
+        self.timeout = timeout
+        self.restrict_swaps = restrict_swaps
+        self.workers = resolve_workers(workers)
+        self.seed_factor = seed_factor
+        self.task_ticks = task_ticks
+        self.split_threshold = split_threshold
+        self.engine = StepEngine(
+            program,
+            level,
+            valid_level=valid_level,
+            check_invariants=check_invariants,
+            restrict_swaps=restrict_swaps,
+        )
+        self.stats = ExplorationStats()
+        self.histories: Optional[HistorySet] = HistorySet() if collect_histories else None
+        #: Per-participant stats: key 0 is the coordinator's seed phase,
+        #: other keys are worker process ids.
+        self.worker_stats: Dict[int, ExplorationStats] = {}
+
+    @property
+    def algorithm_name(self) -> str:
+        return algorithm_name(self.level, self.valid_level)
+
+    # -- driver -------------------------------------------------------------
+
+    def run(self) -> ExplorationResult:
+        """Execute the exploration to completion (or timeout)."""
+        start = time.monotonic()
+        deadline = start + self.timeout if self.timeout else None
+        seed_stats = ExplorationStats()
+        self.worker_stats = {0: seed_stats}
+        frontier = self._seed(seed_stats, deadline)
+        if frontier and not seed_stats.timed_out:
+            if _forkable() and self.workers > 1:
+                self._fan_out(frontier, deadline)
+            else:
+                self._drain_serially(frontier, seed_stats, deadline)
+        merged = ExplorationStats()
+        for stats in self.worker_stats.values():
+            merged = merged.merge(stats)
+        merged.seconds = time.monotonic() - start
+        self.stats = merged
+        return ExplorationResult(
+            self.program.name,
+            self.algorithm_name,
+            merged,
+            self.histories,
+            worker_stats=dict(self.worker_stats),
+        )
+
+    # -- phases -------------------------------------------------------------
+
+    def _seed(
+        self, stats: ExplorationStats, deadline: Optional[float]
+    ) -> Deque[WorkItem]:
+        """Breadth-first prefix expansion until the frontier can feed the pool."""
+        target = max(self.workers * self.seed_factor, 1)
+        frontier: Deque[WorkItem] = deque([self.engine.initial_item()])
+        live_events = frontier[0][1].history.event_count()
+        while frontier and len(frontier) < target:
+            if deadline is not None and time.monotonic() > deadline:
+                stats.timed_out = True
+                frontier.clear()
+                break
+            kind, oh = frontier.popleft()
+            live_events -= oh.history.event_count()
+            pushed, outputs = self.engine.step(oh, kind, stats)
+            frontier.extend(pushed)
+            live_events += sum(item[1].history.event_count() for item in pushed)
+            if len(frontier) > stats.peak_stack:
+                stats.peak_stack = len(frontier)
+            if live_events > stats.peak_live_events:
+                stats.peak_live_events = live_events
+            for history in outputs:
+                self._emit(history)
+        return frontier
+
+    def _fan_out(self, frontier: Deque[WorkItem], deadline: Optional[float]) -> None:
+        """Distribute frontier subtrees over a fork pool with work sharing."""
+        import multiprocessing
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+        ship_outputs = self.collect_histories or self.on_output is not None
+        pending: Deque[Tuple] = deque(
+            (kind, wire) for kind, wire in encode_items(list(frontier))
+        )
+        token = next(_ENGINE_TOKENS)
+        _ENGINES[token] = self.engine
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        try:
+            timed_out = False
+            in_flight = set()
+            while pending or in_flight:
+                now = time.monotonic()
+                if deadline is not None and now > deadline:
+                    timed_out = True
+                if timed_out:
+                    pending.clear()  # stop feeding; running tasks self-expire
+                while pending and len(in_flight) < self.workers:
+                    item = pending.popleft()
+                    time_left = None if deadline is None else max(deadline - now, 0.0)
+                    in_flight.add(
+                        executor.submit(
+                            _subtree_task,
+                            (
+                                token,
+                                [item],
+                                self.task_ticks,
+                                self.split_threshold,
+                                time_left,
+                                ship_outputs,
+                            ),
+                        )
+                    )
+                if not in_flight:
+                    break
+                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    pid, stats, outputs, returned, worker_timed_out = future.result()
+                    bucket = self.worker_stats.get(pid)
+                    self.worker_stats[pid] = stats if bucket is None else bucket.merge(stats)
+                    timed_out = timed_out or worker_timed_out
+                    pending.extend(returned)
+                    for history in outputs:
+                        self._emit(history)
+            if timed_out:
+                self.worker_stats[0].timed_out = True
+        finally:
+            _ENGINES.pop(token, None)
+            executor.shutdown(wait=True)
+
+    def _drain_serially(
+        self,
+        frontier: Deque[WorkItem],
+        stats: ExplorationStats,
+        deadline: Optional[float],
+    ) -> None:
+        """No-fork fallback: finish the exploration on the coordinator."""
+        self.engine.drain(
+            list(frontier), stats, self._emit, deadline=deadline, poll_every=1
+        )
+
+    def _emit(self, history: History) -> None:
+        if self.histories is not None:
+            self.histories.add(history)
+        if self.on_output is not None:
+            self.on_output(history)

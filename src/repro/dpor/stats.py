@@ -43,7 +43,15 @@ class ExplorationStats:
     timed_out: bool = False
 
     def merge(self, other: "ExplorationStats") -> "ExplorationStats":
-        """Pointwise sum/max with another stats object (suite aggregation)."""
+        """Pointwise sum/max with another stats object.
+
+        Additive counters (calls, outputs, checks, seconds) are summed;
+        gauges (``peak_stack``, ``peak_live_events``) take the max and
+        ``timed_out`` the disjunction.  Used both for suite aggregation and
+        for combining per-worker stats of a parallel exploration — the
+        parallel driver decomposes a run into disjoint subtrees, so the
+        merged additive counters equal a sequential run's exactly.
+        """
         return ExplorationStats(
             explore_calls=self.explore_calls + other.explore_calls,
             end_states=self.end_states + other.end_states,
@@ -58,3 +66,8 @@ class ExplorationStats:
             seconds=self.seconds + other.seconds,
             timed_out=self.timed_out or other.timed_out,
         )
+
+    def __add__(self, other: "ExplorationStats") -> "ExplorationStats":
+        if not isinstance(other, ExplorationStats):
+            return NotImplemented
+        return self.merge(other)

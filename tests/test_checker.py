@@ -50,6 +50,21 @@ class TestAlgorithmSelection:
         with pytest.raises(ValueError):
             ModelChecker(lost_update_program(), method="bfs")
 
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ModelChecker(lost_update_program(), workers=-2)
+
+    def test_parallel_checker_agrees_with_serial(self):
+        serial = ModelChecker(lost_update_program(), isolation="SER").run(
+            assertions=[no_lost_update]
+        )
+        parallel = ModelChecker(lost_update_program(), isolation="SER", workers=2).run(
+            assertions=[no_lost_update]
+        )
+        assert parallel.ok == serial.ok
+        assert parallel.history_count == serial.history_count
+        assert parallel.stats.outputs == serial.stats.outputs
+
 
 class TestVerdicts:
     def test_lost_update_found_under_cc(self):
@@ -96,6 +111,19 @@ class TestOutcomes:
     def test_keep_all_outcomes(self):
         result = ModelChecker(lost_update_program(), isolation="CC").run(keep_outcomes=True)
         assert len(result.outcomes) == result.history_count
+
+    def test_keep_outcomes_zero_keeps_none_but_collects(self):
+        # 0 is a cap, not False: the result carries an (empty) outcome list.
+        result = ModelChecker(lost_update_program(), isolation="CC").run(keep_outcomes=0)
+        assert result.outcomes == []
+
+    def test_keep_outcomes_false_collects_nothing(self):
+        result = ModelChecker(lost_update_program(), isolation="CC").run(keep_outcomes=False)
+        assert result.outcomes is None
+
+    def test_negative_keep_outcomes_rejected(self):
+        with pytest.raises(ValueError):
+            ModelChecker(lost_update_program(), isolation="CC").run(keep_outcomes=-1)
 
     def test_max_violations_cap(self):
         never = Assertion("never", lambda outcome: False)

@@ -1,0 +1,223 @@
+"""Serial/parallel equivalence of the exploration, and the wire encoding.
+
+The parallel driver decomposes the explore-ce recursion into disjoint
+subtrees, so a parallel run must produce the *identical* set of canonical
+output histories and identical additive counter totals as the sequential
+driver — for any program, level and worker count.  These property tests
+pin that down on the paper's example programs, seeded random programs, and
+the application workloads, for both explore-ce and explore-ce*.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.history import History
+from repro.core.ordered_history import OrderedHistory
+from repro.core.wire import (
+    history_from_wire,
+    history_to_wire,
+    ordered_history_from_wire,
+    ordered_history_to_wire,
+)
+from repro.dpor import ParallelExplorer, StepEngine, SwappingExplorer, resolve_workers
+from repro.dpor.stats import ExplorationStats
+from repro.isolation import get_level
+
+from tests.helpers import PAPER_PROGRAMS, figd1_program, random_history, random_program
+
+#: The counters that must be bit-identical between serial and parallel runs
+#: (everything additive; peaks and seconds are scheduling-dependent).
+ADDITIVE_COUNTERS = (
+    "explore_calls",
+    "end_states",
+    "outputs",
+    "filtered",
+    "blocked",
+    "swap_candidates",
+    "swaps_applied",
+    "consistency_checks",
+)
+
+
+def run_serial(program, level, valid=None):
+    return SwappingExplorer(
+        program, get_level(level), valid_level=get_level(valid) if valid else None
+    ).run()
+
+
+def run_parallel(program, level, valid=None, workers=2, **kwargs):
+    return ParallelExplorer(
+        program,
+        get_level(level),
+        valid_level=get_level(valid) if valid else None,
+        workers=workers,
+        **kwargs,
+    ).run()
+
+
+def assert_equivalent(serial, parallel, context=""):
+    assert sorted(serial.histories.keys()) == sorted(parallel.histories.keys()), context
+    assert parallel.histories.duplicates == 0, context
+    for counter in ADDITIVE_COUNTERS:
+        got = getattr(parallel.stats, counter)
+        want = getattr(serial.stats, counter)
+        assert got == want, f"{context}: {counter} {got} != {want}"
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("factory", PAPER_PROGRAMS, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_explore_ce_paper_programs(self, factory, workers):
+        program = factory()
+        serial = run_serial(program, "CC")
+        parallel = run_parallel(program, "CC", workers=workers)
+        assert_equivalent(serial, parallel, f"{program.name}/CC/w{workers}")
+
+    @pytest.mark.parametrize("factory", PAPER_PROGRAMS, ids=lambda f: f.__name__)
+    @pytest.mark.parametrize("valid", ["SI", "SER"])
+    def test_explore_ce_star_paper_programs(self, factory, valid):
+        program = factory()
+        serial = run_serial(program, "CC", valid)
+        parallel = run_parallel(program, "CC", valid, workers=2)
+        assert_equivalent(serial, parallel, f"{program.name}/CC+{valid}")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_programs(self, seed):
+        rng = random.Random(seed)
+        program = random_program(rng, name=f"random{seed}")
+        serial = run_serial(program, "CC")
+        parallel = run_parallel(program, "CC", workers=2)
+        assert_equivalent(serial, parallel, f"random{seed}")
+
+    def test_application_program_exercises_pool(self):
+        # Large enough that the frontier outgrows the seed phase and real
+        # worker processes (distinct pids in worker_stats) take subtrees.
+        from repro.apps import client_program
+
+        program = client_program("courseware", 3, 2, 3)
+        serial = run_serial(program, "CC", "SER")
+        explorer = ParallelExplorer(
+            program, get_level("CC"), valid_level=get_level("SER"), workers=2
+        )
+        parallel = explorer.run()
+        assert_equivalent(serial, parallel, "courseware-3")
+        worker_pids = [pid for pid in parallel.worker_stats if pid != 0]
+        assert worker_pids, "exploration never reached the worker pool"
+
+    def test_worker_stats_sum_to_merged_totals(self):
+        from repro.apps import client_program
+
+        program = client_program("courseware", 3, 2, 3)
+        result = run_parallel(program, "CC", "SER", workers=2)
+        for counter in ADDITIVE_COUNTERS:
+            total = sum(getattr(s, counter) for s in result.worker_stats.values())
+            assert total == getattr(result.stats, counter), counter
+
+    def test_work_sharing_rebalances_small_stacks(self):
+        # Tiny budgets force every mechanism: one-tick tasks, immediate
+        # splits, frontier ping-pong — totals must still be exact.
+        program = figd1_program()
+        serial = run_serial(program, "CC")
+        parallel = run_parallel(
+            program, "CC", workers=2, seed_factor=1, task_ticks=1, split_threshold=2
+        )
+        assert_equivalent(serial, parallel, "figD1/tiny-budgets")
+
+    def test_workers_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+        assert resolve_workers(3) == 3
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestTimeoutPropagation:
+    def test_parallel_timeout_sets_flag_and_returns_promptly(self):
+        import time
+
+        from repro.apps import client_program
+
+        program = client_program("courseware", 3, 3, 3)
+        start = time.monotonic()
+        result = run_parallel(program, "CC", "SER", workers=2, timeout=0.2)
+        wall = time.monotonic() - start
+        assert result.stats.timed_out
+        # Workers check the deadline every tick, so the overshoot is one
+        # step plus pool teardown, not a 32-tick coordinator poll.
+        assert wall < 5.0, wall
+
+    def test_serial_timeout_still_reported(self):
+        from repro.apps import client_program
+
+        program = client_program("courseware", 3, 3, 3)
+        result = SwappingExplorer(
+            program,
+            get_level("CC"),
+            valid_level=get_level("SER"),
+            timeout=0.05,
+        ).run()
+        assert result.stats.timed_out
+
+
+class TestWireEncoding:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_history_round_trip(self, seed):
+        rng = random.Random(seed)
+        history = random_history(rng, allow_pending=True)
+        rebuilt = history_from_wire(history_to_wire(history))
+        assert rebuilt.canonical_key() == history.canonical_key()
+        # RelationMatrix indexing depends on txn insertion order: preserve it.
+        assert tuple(rebuilt.txns) == tuple(history.txns)
+        assert rebuilt.sessions == history.sessions
+        assert rebuilt.wr == history.wr
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pickle_uses_wire_and_drops_matrix_cache(self, seed):
+        rng = random.Random(seed)
+        history = random_history(rng)
+        history.causal_matrix()  # populate the cache
+        clone = pickle.loads(pickle.dumps(history))
+        assert clone.canonical_key() == history.canonical_key()
+        assert "causal_matrix" not in clone._cache
+        # The closure is rebuilt lazily and answers identically.
+        for a in history.txns:
+            for b in history.txns:
+                assert clone.causally_before(a, b) == history.causally_before(a, b)
+
+    def test_ordered_history_round_trip_through_exploration(self):
+        program = figd1_program()
+        engine = StepEngine(program, get_level("CC"))
+        stats = ExplorationStats()
+        stack = [engine.initial_item()]
+        seen = 0
+        while stack and seen < 200:
+            kind, oh = stack.pop()
+            rebuilt = ordered_history_from_wire(ordered_history_to_wire(oh))
+            assert rebuilt.order == oh.order
+            assert rebuilt.history.canonical_key() == oh.history.canonical_key()
+            rebuilt.validate()
+            pushed, _outputs = engine.step(oh, kind, stats)
+            stack.extend(pushed)
+            seen += 1
+        assert seen > 10
+
+    def test_event_pickle_round_trip(self):
+        program = figd1_program()
+        for event in program.initial_history().events():
+            clone = pickle.loads(pickle.dumps(event))
+            assert clone == event
+
+
+class TestStatsMerging:
+    def test_add_operator_matches_merge(self):
+        a = ExplorationStats(explore_calls=5, outputs=2, peak_stack=10, seconds=1.0)
+        b = ExplorationStats(explore_calls=3, outputs=1, peak_stack=4, seconds=0.5, timed_out=True)
+        assert a + b == a.merge(b)
+        assert sum([a, b], ExplorationStats()) == a.merge(b)
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ExplorationStats() + 1
