@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in the repository's Markdown docs.
+"""Fail on broken relative links or anchors in the repository's Markdown docs.
 
 Scans ``README.md`` and every ``*.md`` under ``docs/`` for inline Markdown
 links/images, resolves relative targets against the containing file, and
-reports targets that do not exist.  External (``http(s)://``, ``mailto:``)
-and same-file anchor links are ignored; ``path#fragment`` is checked for
-the path only.
+reports targets that do not exist.  Fragments are validated too: for
+``path#fragment`` links whose path is a Markdown file (and for same-file
+``#fragment`` links), the fragment must match a heading of the target
+file under GitHub's slugification.  External (``http(s)://``,
+``mailto:``) links are ignored.
 
 Used by CI and by ``tests/test_docs_links.py``; run manually with::
 
@@ -17,10 +19,11 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import Dict, List, Set, Tuple
 
 #: Inline links and images: [text](target) / ![alt](target).
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
 _EXTERNAL = ("http://", "https://", "mailto:")
 
 
@@ -33,23 +36,64 @@ def markdown_files(root: Path) -> List[Path]:
     return files
 
 
+def _strip_code_blocks(text: str) -> str:
+    """Drop fenced code blocks — link/heading syntax inside them is inert."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading → anchor slugification (ASCII-ish approximation).
+
+    Lowercase; drop everything that is not alphanumeric, space or hyphen
+    (backticks, punctuation, arrows, …); spaces become hyphens.  Matches
+    GitHub for every heading style used in this repository.
+    """
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = "".join(ch for ch in text if ch.isalnum() or ch in " -")
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md: Path) -> Set[str]:
+    """All anchor slugs of one Markdown file (with GitHub's -1, -2 dedup)."""
+    text = _strip_code_blocks(md.read_text(encoding="utf-8"))
+    slugs: Set[str] = set()
+    seen: Dict[str, int] = {}
+    for match in _HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
 def broken_links(root: Path) -> List[Tuple[Path, str]]:
-    """``(file, target)`` pairs whose relative target does not exist."""
+    """``(file, target)`` pairs whose relative target or anchor is broken."""
     broken: List[Tuple[Path, str]] = []
+    slug_cache: Dict[Path, Set[str]] = {}
+
+    def slugs_of(md: Path) -> Set[str]:
+        if md not in slug_cache:
+            slug_cache[md] = heading_slugs(md)
+        return slug_cache[md]
+
     for md in markdown_files(root):
-        text = md.read_text(encoding="utf-8")
-        # Strip fenced code blocks — link syntax inside them is not a link.
-        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        text = _strip_code_blocks(md.read_text(encoding="utf-8"))
         for match in _LINK.finditer(text):
             target = match.group(1)
-            if target.startswith(_EXTERNAL) or target.startswith("#"):
+            if target.startswith(_EXTERNAL):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (md.parent / path).resolve()
-            if not resolved.exists():
-                broken.append((md, target))
+            path, _, fragment = target.partition("#")
+            if path:
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    broken.append((md, target))
+                    continue
+            else:
+                resolved = md
+            if fragment and resolved.suffix == ".md":
+                if fragment not in slugs_of(resolved):
+                    broken.append((md, target))
     return broken
 
 
@@ -61,7 +105,7 @@ def main() -> int:
     if bad:
         return 1
     files = markdown_files(root)
-    print(f"checked {len(files)} markdown file(s), all relative links resolve")
+    print(f"checked {len(files)} markdown file(s), all relative links and anchors resolve")
     return 0
 
 

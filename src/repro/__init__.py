@@ -103,3 +103,18 @@ from .checking import LevelComparison, compare_levels
 from .core import history_to_dot
 
 __all__ += ["LevelComparison", "compare_levels", "history_to_dot"]
+
+from .checking import OnlineChecker, OnlineStep, check_trace
+from .core import OrderedHistory
+from .trace import Trace, TraceEvent, TraceFormatError, TraceHeader
+
+__all__ += [
+    "OnlineChecker",
+    "OnlineStep",
+    "check_trace",
+    "OrderedHistory",
+    "Trace",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceHeader",
+]

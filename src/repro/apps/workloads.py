@@ -8,7 +8,7 @@ repeatable, plus the scalability sweeps of Figs. 15(a)/(b).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..lang.program import Program
 from . import courseware, shopping_cart, tpcc, twitter, wikipedia
@@ -70,6 +70,51 @@ def session_scaling_suite(
         ]
         for n in range(1, max_sessions + 1)
     }
+
+
+def record_workload_trace(
+    app: str,
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    seed: int = 0,
+    isolation: str = "SER",
+    index: int = 0,
+    timeout: Optional[float] = None,
+):
+    """Record one application-workload execution as a portable trace.
+
+    Model-checks the ``app`` client program under ``isolation`` and
+    serializes the ``index``-th enumerated history (exploration order is
+    deterministic, so the same arguments always yield the same trace) with
+    provenance in the header's ``meta``.  This is how the benchmark
+    applications feed the trace/online-checking pipeline — and the
+    implementation behind ``python -m repro record --app``.
+    """
+    from ..checking.checker import ModelChecker
+    from ..trace.format import Trace
+
+    program = client_program(app, sessions, txns_per_session, seed)
+    result = ModelChecker(program, isolation=isolation).run(
+        timeout=timeout, keep_outcomes=index + 1
+    )
+    if not result.outcomes or index >= len(result.outcomes):
+        found = len(result.outcomes or [])
+        raise ValueError(
+            f"{program.name} has only {found} histories under {isolation}; "
+            f"cannot record index {index}"
+        )
+    return Trace.from_history(
+        result.outcomes[index].history,
+        name=f"{program.name}-{isolation}-{index}",
+        meta={
+            "app": app,
+            "sessions": sessions,
+            "txns_per_session": txns_per_session,
+            "seed": seed,
+            "isolation": isolation,
+            "history_index": index,
+        },
+    )
 
 
 def transaction_scaling_suite(

@@ -20,3 +20,7 @@ __all__ = [
 from .report import LevelComparison, compare_levels
 
 __all__ += ["LevelComparison", "compare_levels"]
+
+from .online import OnlineChecker, OnlineStep, check_trace
+
+__all__ += ["OnlineChecker", "OnlineStep", "check_trace"]

@@ -16,11 +16,23 @@ Commands
     Run a small Fig. 14-style comparison of all seven algorithm
     configurations on the built-in application suite.
 
+``record [FILE | --app NAME]``
+    Model-check a program (from a file, or a built-in application
+    workload) and dump one of its histories as a portable JSONL trace
+    (see ``docs/trace_format.md``).
+
+``replay TRACE``
+    Load a recorded trace and decide which isolation levels it satisfies,
+    either in batch or — with ``--online`` — event by event with the
+    incremental checker, reporting where each level is first violated.
+
 Examples::
 
     python -m repro check program.txn --isolation CC --show-histories
     python -m repro compare program.txn
     python -m repro bench --sessions 2 --txns 2 --programs 2
+    python -m repro record program.txn --isolation CC --out run.trace.jsonl
+    python -m repro replay run.trace.jsonl --online
 """
 
 from __future__ import annotations
@@ -97,6 +109,109 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .trace.format import Trace
+
+    if (args.file is None) == (args.app is None):
+        raise SystemExit("error: record needs exactly one of FILE or --app NAME")
+    if args.app is not None:
+        from .apps.workloads import APPLICATIONS, record_workload_trace
+
+        if args.app not in APPLICATIONS:
+            raise SystemExit(f"error: unknown app {args.app!r}; known: {sorted(APPLICATIONS)}")
+        try:
+            trace = record_workload_trace(
+                args.app,
+                sessions=args.sessions,
+                txns_per_session=args.txns,
+                seed=args.seed,
+                isolation=args.isolation,
+                index=args.index,
+                timeout=args.timeout,
+            )
+        except ValueError as err:
+            raise SystemExit(f"error: {err}")
+    else:
+        program = _read_program(args.file)
+        result = ModelChecker(program, isolation=args.isolation).run(
+            timeout=args.timeout, keep_outcomes=args.index + 1
+        )
+        outcomes = result.outcomes or []
+        if args.index >= len(outcomes):
+            raise SystemExit(
+                f"error: {program.name} has only {len(outcomes)} histories under "
+                f"{args.isolation}; cannot record index {args.index}"
+            )
+        trace = Trace.from_history(
+            outcomes[args.index].history,
+            name=f"{program.name}-{args.isolation}-{args.index}",
+            meta={"program": program.name, "isolation": args.isolation, "history_index": args.index},
+        )
+    if args.out == "-":
+        sys.stdout.write(trace.dumps())
+    else:
+        trace.dump(args.out)
+        print(f"wrote {len(trace)} events to {args.out} ({trace.header.name})")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .checking.online import DEFAULT_LEVELS, OnlineChecker
+    from .isolation.base import get_level
+    from .trace.format import Trace, TraceFormatError
+
+    try:
+        if args.trace == "-":
+            trace = Trace.load(sys.stdin)
+        else:
+            trace = Trace.load(args.trace)
+    except OSError as err:
+        raise SystemExit(f"error: cannot read {args.trace}: {err}")
+    except TraceFormatError as err:
+        raise SystemExit(f"error: {args.trace}: {err}")
+
+    levels = list(DEFAULT_LEVELS) if args.isolation.lower() == "all" else [args.isolation]
+    try:
+        levels = [get_level(name).name for name in levels]
+    except KeyError as err:
+        raise SystemExit(f"error: {err.args[0]}")
+
+    print(f"{trace.header.name}: {len(trace)} events, variables {list(trace.header.variables)}")
+    try:
+        if args.online:
+            try:
+                checker = OnlineChecker.from_trace(trace, levels=levels)
+            except ValueError as err:
+                raise SystemExit(f"error: {err}")
+            checker.replay(trace)
+            verdicts = checker.verdicts
+            for name in levels:
+                if verdicts[name]:
+                    print(f"  {name:4s}: consistent")
+                else:
+                    step = checker.first_violation(name)
+                    where = f"event #{step.index} ({_describe_trace_event(step.event)})"
+                    print(f"  {name:4s}: VIOLATION first observed at {where}")
+        else:
+            history = trace.to_history(strict=False)
+            verdicts = {name: get_level(name).satisfies(history) for name in levels}
+            for name in levels:
+                verdict = "consistent" if verdicts[name] else "VIOLATION"
+                print(f"  {name:4s}: {verdict}")
+    except TraceFormatError as err:
+        raise SystemExit(f"error: {args.trace}: {err}")
+    return 0 if all(verdicts.values()) else 1
+
+
+def _describe_trace_event(event) -> str:
+    core = f"{event.op} {event.session}/{event.txn}"
+    if event.var is not None:
+        core += f" {event.var}"
+    if event.source is not None:
+        core += f" <- {event.source[0]}/{event.source[1]}"
+    return core
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     result = fig14(
         sessions=args.sessions,
@@ -136,6 +251,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("file")
     compare.add_argument("--timeout", type=float, default=None)
     compare.set_defaults(fn=_cmd_compare)
+
+    record = sub.add_parser("record", help="model-check a program and dump one history as a JSONL trace")
+    record.add_argument("file", nargs="?", default=None, help="program in the paper's concrete syntax")
+    record.add_argument("--app", default=None, help="record a built-in application workload instead of FILE")
+    record.add_argument("--isolation", default="SER", help="exploration level (default SER)")
+    record.add_argument("--index", type=int, default=0, help="which enumerated history to record (default 0)")
+    record.add_argument("--sessions", type=int, default=2, help="app workload sessions (with --app)")
+    record.add_argument("--txns", type=int, default=2, help="app workload transactions per session (with --app)")
+    record.add_argument("--seed", type=int, default=0, help="app workload seed (with --app)")
+    record.add_argument("--timeout", type=float, default=None, help="seconds")
+    record.add_argument("--out", default="-", help="output path ('-' = stdout, default)")
+    record.set_defaults(fn=_cmd_record)
+
+    replay = sub.add_parser("replay", help="check a recorded JSONL trace against isolation levels")
+    replay.add_argument("trace", help="trace file ('-' = stdin)")
+    replay.add_argument(
+        "--isolation", default="all", help="RC|RA|CC|SI|SER or 'all' (default all)"
+    )
+    replay.add_argument(
+        "--online",
+        action="store_true",
+        help="check event-by-event with the incremental online checker "
+        "and report where each level is first violated",
+    )
+    replay.set_defaults(fn=_cmd_replay)
 
     bench = sub.add_parser("bench", help="small Fig. 14-style algorithm comparison")
     bench.add_argument("--sessions", type=int, default=2)

@@ -31,3 +31,7 @@ __all__ += ["HistoryBuilder", "TxnHandle"]
 from .dot import history_to_dot
 
 __all__ += ["history_to_dot"]
+
+from .serde import from_jsonable, to_jsonable
+
+__all__ += ["from_jsonable", "to_jsonable"]

@@ -151,6 +151,32 @@ class RelationMatrix:
 
     # -- incremental growth -------------------------------------------------
 
+    def add_node(self, node: Node) -> int:
+        """Append ``node`` to the universe and return its dense index.
+
+        The new node starts isolated (no edges), so the maintained closure
+        and the acyclicity flag are unaffected — appending is O(n) (the node
+        tuple and index map are rebuilt; the closure rows just gain one zero
+        row).  This is what lets the online checker grow a relation one
+        transaction at a time instead of rebuilding the matrix per event.
+
+        The index map is *re-created* rather than mutated in place because
+        :meth:`copy` shares it between copies; mutating the shared dict
+        would silently desynchronise a sibling matrix's indexing.
+        """
+        if self._frozen:
+            raise ValueError("matrix is frozen (cached on a history); copy() it before add_node")
+        if node in self._index:
+            raise ValueError(f"node {node!r} already in RelationMatrix universe")
+        index = len(self._nodes)
+        self._nodes = self._nodes + (node,)
+        self._index = dict(self._index)
+        self._index[node] = index
+        self._succ.append(0)
+        self._desc.append(0)
+        self._anc.append(0)
+        return index
+
     def add_edge(self, src: Node, dst: Node) -> bool:
         """Add ``src → dst`` and update the maintained closure incrementally.
 

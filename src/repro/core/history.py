@@ -342,8 +342,18 @@ class History:
         return a.session == b.session and a.index < b.index
 
     def wr_edge(self, a: TxnId, b: TxnId) -> bool:
-        """``(a, b) ∈ wr`` lifted to transactions: some read of ``b`` reads from ``a``."""
-        return any(writer == a and read.txn == b for read, writer in self.wr.items())
+        """``(a, b) ∈ wr`` lifted to transactions: some read of ``b`` reads from ``a``.
+
+        The lifted pair set is cached on first query (histories are
+        persistent, so ``wr`` never changes) — the Read Atomic premise asks
+        this once per axiom instance, which made a linear scan of ``wr``
+        the hot path of both batch and online saturation.
+        """
+        pairs = self._cache.get("wr_pairs")
+        if pairs is None:
+            pairs = {(writer, read.txn) for read, writer in self.wr.items()}
+            self._cache["wr_pairs"] = pairs
+        return (a, b) in pairs
 
     def so_pairs(self) -> Iterator[Tuple[TxnId, TxnId]]:
         """Session-order edges on transactions (transitively reduced).

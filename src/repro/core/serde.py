@@ -1,0 +1,62 @@
+"""JSON value codec for the portable trace format.
+
+Event values in this code base are arbitrary hashables: the DSL produces
+ints and strings, the SQL-table modelling of :mod:`repro.apps.tables` uses
+``frozenset`` id-sets, and tuples appear in composite values.  JSON has no
+native encoding for the container types, so the trace serializer routes
+every value through the hooks here:
+
+* scalars (``None``, ``bool``, ``int``, ``float``, ``str``) pass through
+  unchanged;
+* ``tuple`` → ``{"$tuple": [...]}``, elements encoded recursively;
+* ``frozenset`` → ``{"$frozenset": [...]}``, elements encoded recursively
+  and sorted by ``(type name, repr)`` so the encoding is deterministic —
+  equal values always serialize to byte-identical JSON.
+
+Decoding inverts the markers exactly; any other dict is rejected (values
+are hashable, so a plain dict can never be a legal value).  Unsupported
+types raise :class:`ValueError` at encode time rather than producing a
+lossy representation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+_SCALARS = (bool, int, float, str)
+
+#: Marker keys for container values (a one-key dict each).
+TUPLE_KEY = "$tuple"
+FROZENSET_KEY = "$frozenset"
+
+
+def to_jsonable(value: Hashable) -> Any:
+    """Encode a history event value into JSON-serializable form.
+
+    Raises :class:`ValueError` for types the trace format does not cover.
+    """
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, tuple):
+        return {TUPLE_KEY: [to_jsonable(item) for item in value]}
+    if isinstance(value, frozenset):
+        encoded = [to_jsonable(item) for item in value]
+        encoded.sort(key=lambda item: (type(item).__name__, repr(item)))
+        return {FROZENSET_KEY: encoded}
+    raise ValueError(f"value {value!r} of type {type(value).__name__} is not trace-serializable")
+
+
+def from_jsonable(obj: Any) -> Hashable:
+    """Decode a value produced by :func:`to_jsonable`."""
+    if obj is None or isinstance(obj, _SCALARS):
+        return obj
+    if isinstance(obj, dict):
+        if len(obj) == 1:
+            if TUPLE_KEY in obj:
+                return tuple(from_jsonable(item) for item in obj[TUPLE_KEY])
+            if FROZENSET_KEY in obj:
+                return frozenset(from_jsonable(item) for item in obj[FROZENSET_KEY])
+        raise ValueError(f"unknown value encoding {obj!r}")
+    if isinstance(obj, list):
+        raise ValueError("bare JSON arrays are not valid trace values (use $tuple/$frozenset)")
+    raise ValueError(f"cannot decode trace value {obj!r}")

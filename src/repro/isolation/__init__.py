@@ -4,6 +4,9 @@ from .base import IsolationLevel, get_level, registered_levels
 from .levels import CC, RA, RC, SER, SI, TRUE
 from .reference import satisfies_reference, witness_commit_order
 from .axioms import AXIOMS_BY_LEVEL
+from .saturation import IncrementalSaturation, satisfies_by_saturation
+from .serializability import satisfies_ser
+from .snapshot import satisfies_si
 
 __all__ = [
     "IsolationLevel",
@@ -18,4 +21,8 @@ __all__ = [
     "satisfies_reference",
     "witness_commit_order",
     "AXIOMS_BY_LEVEL",
+    "IncrementalSaturation",
+    "satisfies_by_saturation",
+    "satisfies_ser",
+    "satisfies_si",
 ]

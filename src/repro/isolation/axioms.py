@@ -39,6 +39,14 @@ class Axiom:
     premise: Premise
     #: True when the premise never inspects ``co`` (enables saturation).
     co_free: bool
+    #: True when the premise is fully determined the moment its quantifier
+    #: instance exists: it inspects only the read's transaction up to the
+    #: read (``wr ∘ po``), which is immutable once the read event is
+    #: appended.  Lets the online checker evaluate the instance once and
+    #: drop it instead of re-scanning it per streamed event; premises over
+    #: ``so ∪ wr`` (RA) or its closure (CC) grow with the stream and stay
+    #: re-checkable until they fire.
+    static_premise: bool = False
 
 
 def axiom_instances(history: History) -> Iterator[Tuple[TxnId, TxnId, Event]]:
@@ -116,7 +124,7 @@ def _conflict_premise(history: History, co: CoPositions, t2: TxnId, read: Event)
     return False
 
 
-READ_COMMITTED_AXIOM = Axiom("Read Committed", _wr_po_premise, co_free=True)
+READ_COMMITTED_AXIOM = Axiom("Read Committed", _wr_po_premise, co_free=True, static_premise=True)
 READ_ATOMIC_AXIOM = Axiom("Read Atomic", _so_wr_premise, co_free=True)
 CAUSAL_AXIOM = Axiom("Causal", _causal_premise, co_free=True)
 SERIALIZABILITY_AXIOM = Axiom("Serializability", _ser_premise, co_free=False)

@@ -29,9 +29,10 @@ instead of saturating fully and re-running a DFS cycle search.
 
 from __future__ import annotations
 
-from typing import Iterator, Set, Tuple
+from typing import List, Optional, Iterator, Set, Tuple
 
-from ..core.events import TxnId
+from ..core.bitrel import RelationMatrix
+from ..core.events import INIT_TXN, Event, TxnId
 from ..core.history import History
 from .axioms import Axiom, axiom_instances
 
@@ -72,3 +73,102 @@ def satisfies_by_saturation(history: History, axioms: Tuple[Axiom, ...]) -> bool
             return False
         work.add_edge(src, dst)
     return True
+
+
+class IncrementalSaturation:
+    """Online saturation state for one co-free-axiom level (RC, RA or CC).
+
+    Where :func:`satisfies_by_saturation` re-derives every forced edge from
+    scratch per history, this class maintains ``so ∪ wr ∪ forced`` across a
+    *growing* history: the caller feeds transactions, base (``so``/``wr``)
+    edges and freshly quantifier-expanded axiom instances as events arrive,
+    and :meth:`advance` evaluates only the instances whose premise has not
+    fired yet.  Correctness rests on the premises being **monotone** in the
+    history prefix: they mention only ``po``/``so``/``wr`` (co-free), all of
+    which grow-only, so a premise that is false now can only *become* true
+    later — an instance therefore needs re-checking until it fires, never
+    after.  The verdict is O(1): the maintained closure's acyclicity flag.
+
+    The one non-monotone step is an **abort**: an aborted transaction's
+    writes vanish (§2.2.1), retroactively deleting every instance it was the
+    writer of — and possibly forced edges already baked into the closure,
+    which cannot be removed.  The caller must detect that case and rebuild
+    via :meth:`from_history` (see ``OnlineChecker``); aborts of write-free
+    transactions need no rebuild.
+    """
+
+    __slots__ = ("axioms", "matrix", "_pending", "_drop_unfired")
+
+    def __init__(self, axioms: Tuple[Axiom, ...], matrix: Optional[RelationMatrix] = None):
+        _check_co_free(axioms)
+        self.axioms = axioms
+        #: The maintained ``so ∪ wr ∪ forced`` relation, closure kept by add_edge.
+        self.matrix = RelationMatrix((INIT_TXN,)) if matrix is None else matrix
+        self._pending: List[Tuple[TxnId, TxnId, Event]] = []
+        #: With only static premises (RC), an unfired instance can never
+        #: fire later — evaluate once and drop instead of re-scanning.
+        self._drop_unfired = all(axiom.static_premise for axiom in axioms)
+
+    @classmethod
+    def from_history(cls, history: History, axioms: Tuple[Axiom, ...]) -> "IncrementalSaturation":
+        """Batch-build the state for an existing history (abort rebuilds).
+
+        Starts from a copy of the history's cached ``so ∪ wr`` closure and
+        replays the full quantifier expansion once.
+        """
+        state = cls(axioms, matrix=history.causal_matrix().copy())
+        state._pending = list(axiom_instances(history))
+        state.advance(history)
+        return state
+
+    def add_transaction(self, tid: TxnId) -> None:
+        """Grow the node universe by one (isolated) transaction."""
+        self.matrix.add_node(tid)
+
+    def add_base_edge(self, src: TxnId, dst: TxnId) -> None:
+        """Record a new ``so`` or ``wr`` edge."""
+        if src != dst:
+            self.matrix.add_edge(src, dst)
+
+    def add_instance(self, t1: TxnId, t2: TxnId, read: Event) -> None:
+        """Queue a new axiom instance ``(t1, t2, read)`` for evaluation."""
+        self._pending.append((t1, t2, read))
+
+    def advance(self, history: History) -> None:
+        """Evaluate pending premises against the current prefix history.
+
+        Instances whose premise holds contribute their forced edge ``⟨t2,
+        t1⟩`` to the maintained closure and are retired; the rest stay
+        pending.  One pass suffices per fed event: co-free premises cannot
+        be enabled by the forced edges this pass adds.
+
+        Once the closure is cyclic the pass is skipped entirely — more
+        edges cannot un-close a cycle, and the only event that can restore
+        consistency (an abort retracting a writer) goes through a
+        :meth:`from_history` rebuild anyway.  This mirrors the batch
+        checker's first-contradiction early exit.
+        """
+        if not self.matrix.is_acyclic():
+            return
+        still: List[Tuple[TxnId, TxnId, Event]] = []
+        for t1, t2, read in self._pending:
+            fired = False
+            for axiom in self.axioms:
+                if axiom.premise(history, {}, t2, read):
+                    fired = True
+                    break
+            if fired:
+                self.matrix.add_edge(t2, t1)
+            elif not self._drop_unfired:
+                still.append((t1, t2, read))
+        self._pending = still
+
+    @property
+    def pending_instances(self) -> int:
+        """Number of instances whose premise has not fired yet."""
+        return len(self._pending)
+
+    @property
+    def consistent(self) -> bool:
+        """O(1) verdict: ``so ∪ wr ∪ forced`` acyclic on the current prefix."""
+        return self.matrix.is_acyclic()

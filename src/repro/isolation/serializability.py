@@ -36,7 +36,12 @@ from .summaries import dense_summaries
 
 
 def satisfies_ser(history: History) -> bool:
-    """Whether ``history`` is serializable."""
+    """Whether ``history`` is serializable.
+
+    Runs on ``history.causal_matrix()`` — callers that already maintain
+    the ``so ∪ wr`` closure (the online checker) seed it via
+    ``History.adopt_causal_matrix`` so no from-scratch build happens here.
+    """
     matrix = history.causal_matrix()
     if not matrix.is_acyclic():
         return False

@@ -39,7 +39,12 @@ from .summaries import dense_summaries
 
 
 def satisfies_si(history: History) -> bool:
-    """Whether ``history`` satisfies Snapshot Isolation."""
+    """Whether ``history`` satisfies Snapshot Isolation.
+
+    Runs on ``history.causal_matrix()`` — callers that already maintain
+    the ``so ∪ wr`` closure (the online checker) seed it via
+    ``History.adopt_causal_matrix`` so no from-scratch build happens here.
+    """
     matrix = history.causal_matrix()
     if not matrix.is_acyclic():
         return False

@@ -1,0 +1,41 @@
+"""Portable execution traces: the JSONL history format and its tooling.
+
+This package is the bridge between the model checker and *recorded*
+executions: a versioned JSONL format for histories
+(:mod:`repro.trace.format`), adapters that record traces from
+checker-produced histories and from plain dict/log input, and a seeded
+fuzzer (:mod:`repro.trace.fuzz`) generating adversarial histories for
+every isolation level.  Consistency of a trace is decided either in batch
+(``Trace.to_history()`` + ``level.satisfies``) or event-by-event with
+:class:`repro.checking.online.OnlineChecker`.
+"""
+
+from .format import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Trace,
+    TraceEvent,
+    TraceFormatError,
+    TraceHeader,
+    TraceReplayer,
+)
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Trace",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceReplayer",
+]
+
+from .fuzz import adversarial_corpus, fuzz_history, fuzz_traces, gadget_histories, gadget_traces
+
+__all__ += [
+    "adversarial_corpus",
+    "fuzz_history",
+    "fuzz_traces",
+    "gadget_histories",
+    "gadget_traces",
+]

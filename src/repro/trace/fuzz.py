@@ -1,0 +1,215 @@
+"""Trace fuzzing: adversarial and violating histories for every level.
+
+Two generators feed the trace/online-checker tests and benchmarks:
+
+* **gadgets** — the minimal hand-built anomalies that separate the five
+  levels of the paper's hierarchy (each gadget is the classical witness
+  that its level is *strictly* stronger than the previous one);
+* **fuzzed histories** — seeded random well-formed histories in the style
+  of the test helpers, but emitted as :class:`~repro.trace.format.Trace`
+  objects and biased toward conflicts (few variables, many read-write
+  races, occasional aborts) so violations of every level appear within a
+  small seed budget.
+
+Everything is deterministic in the seed, so corpus membership is stable
+across runs and machines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.hbuilder import HistoryBuilder
+from ..core.history import History
+from ..isolation.base import get_level
+from .format import Trace
+
+#: The level ladder the corpus covers.
+LEVELS: Tuple[str, ...] = ("RC", "RA", "CC", "SI", "SER")
+
+
+# -- hand-built anomaly gadgets ---------------------------------------------------
+
+
+def rc_violation() -> History:
+    """Two readers observe two writers in opposite orders → violates RC
+    (and therefore every stronger level): the Read Committed axiom forces
+    both ``t1 < t2`` and ``t2 < t1``."""
+    b = HistoryBuilder(["x", "y"])
+    t1 = b.txn("w1").write("x", 1).write("y", 1).commit()
+    t2 = b.txn("w2").write("x", 2).write("y", 2).commit()
+    b.txn("r1").read("x", source=t1).read("y", source=t2).commit()
+    b.txn("r2").read("y", source=t2).read("x", source=t1).commit()
+    return b.build()
+
+
+def ra_violation() -> History:
+    """Fractured read: observe one of a transaction's writes but, earlier
+    in program order, the initial value of another → violates Read Atomic
+    but not Read Committed (the reads are ordered old-to-new, so the RC
+    premise never fires)."""
+    b = HistoryBuilder(["x", "y"])
+    t1 = b.txn("writer").write("x", 1).write("y", 1).commit()
+    b.txn("reader").read("y", source=b.init).read("x", source=t1).commit()
+    return b.build()
+
+
+def cc_violation() -> History:
+    """The paper's Fig. 3: a stale read of a value whose overwrite is in
+    the reader's causal past (via another session) → violates Causal
+    Consistency but not Read Atomic."""
+    b = HistoryBuilder(["x", "y"])
+    t1 = b.txn("session1").write("x", 1).commit()
+    t2 = b.txn("session2").read("x", source=t1).write("x", 2).commit()
+    t4 = b.txn("session4").read("x", source=t2).write("y", 1).commit()
+    b.txn("session3").read("x", source=t1).read("y", source=t4).commit()
+    return b.build()
+
+
+def si_violation() -> History:
+    """Long fork: two readers see the two independent writes in opposite
+    orders → violates Snapshot Isolation (Prefix) but not Causal
+    Consistency."""
+    b = HistoryBuilder(["x", "y"])
+    w1 = b.txn("w1").write("x", 1).commit()
+    w2 = b.txn("w2").write("y", 1).commit()
+    b.txn("r1").read("x", source=w1).read("y", source=b.init).commit()
+    b.txn("r2").read("x", source=b.init).read("y", source=w2).commit()
+    return b.build()
+
+
+def ser_violation() -> History:
+    """Write skew: both transactions read the other's variable's initial
+    value and write their own → violates Serializability but not Snapshot
+    Isolation (the write sets are disjoint)."""
+    b = HistoryBuilder(["x", "y"])
+    b.txn("alice").read("x", source=b.init).write("y", 1).commit()
+    b.txn("bob").read("y", source=b.init).write("x", 1).commit()
+    return b.build()
+
+
+def lost_update() -> History:
+    """Both increments read the initial value and write over each other →
+    violates SI and SER, consistent with RC/RA/CC."""
+    b = HistoryBuilder(["x"])
+    b.txn("alice").read("x", source=b.init).write("x", 1).commit()
+    b.txn("bob").read("x", source=b.init).write("x", 2).commit()
+    return b.build()
+
+
+#: name → gadget builder; each violates exactly the levels from its name up.
+GADGETS: Dict[str, Callable[[], History]] = {
+    "rc_violation": rc_violation,
+    "ra_violation": ra_violation,
+    "cc_violation": cc_violation,
+    "si_violation": si_violation,
+    "ser_violation": ser_violation,
+    "lost_update": lost_update,
+}
+
+
+def gadget_histories() -> Dict[str, History]:
+    """All gadgets, built."""
+    return {name: make() for name, make in GADGETS.items()}
+
+
+def gadget_traces() -> Dict[str, Trace]:
+    """All gadgets, recorded as traces."""
+    return {
+        name: Trace.from_history(history, name=name, meta={"generator": "gadget"})
+        for name, history in gadget_histories().items()
+    }
+
+
+# -- seeded random histories -------------------------------------------------------
+
+
+def fuzz_history(
+    seed_or_rng: Union[int, random.Random],
+    sessions: int = 3,
+    txns_per_session: int = 2,
+    max_ops: int = 3,
+    variables: Tuple[str, ...] = ("x", "y"),
+    abort_rate: float = 0.1,
+) -> History:
+    """One seeded random well-formed history.
+
+    Reads draw their source from *any earlier-completed committed* writer
+    of the variable (including ``init``) — never only the latest — so
+    stale reads, fractured reads and write conflicts are common and the
+    output frequently violates one or more isolation levels while always
+    satisfying Def. 2.1 (``so ∪ wr`` acyclic by construction).
+    """
+    rng = seed_or_rng if isinstance(seed_or_rng, random.Random) else random.Random(seed_or_rng)
+    b = HistoryBuilder(variables)
+    committed_writers: Dict[str, List] = {var: [b.init] for var in variables}
+    slots = [s for s in range(sessions) for _ in range(txns_per_session)]
+    rng.shuffle(slots)
+    for s in slots:
+        t = b.txn(f"s{s}")
+        wrote = set()
+        for _ in range(rng.randint(1, max_ops)):
+            var = rng.choice(variables)
+            if rng.random() < 0.5:
+                if var in wrote:
+                    t.read(var)
+                else:
+                    t.read(var, source=rng.choice(committed_writers[var]))
+            else:
+                t.write(var, rng.randint(1, 3))
+                wrote.add(var)
+        if rng.random() < abort_rate:
+            t.abort()
+        else:
+            t.commit()
+            for var in wrote:
+                committed_writers[var].append(t)
+    return b.build(auto_commit=False)
+
+
+def fuzz_traces(count: int, seed: int = 0, **shape) -> List[Trace]:
+    """``count`` seeded random traces (seeds ``seed .. seed+count-1``)."""
+    return [
+        Trace.from_history(
+            fuzz_history(seed + i, **shape),
+            name=f"fuzz-{seed + i}",
+            meta={"generator": "fuzz", "seed": seed + i},
+        )
+        for i in range(count)
+    ]
+
+
+def adversarial_corpus(
+    per_level: int = 2,
+    seed: int = 0,
+    max_tries: int = 400,
+    levels: Iterable[str] = LEVELS,
+    shape: Optional[Dict] = None,
+) -> Dict[str, List[History]]:
+    """For each level, ``per_level`` histories that violate it.
+
+    The matching gadget seeds each bucket, then fuzzed histories fill the
+    rest by scanning seeds (deterministically) until every bucket is full
+    or ``max_tries`` seeds have been drawn.  Raises if a bucket cannot be
+    filled — the shape is then too tame to be called adversarial.
+    """
+    gadgets = gadget_histories()
+    corpus: Dict[str, List[History]] = {}
+    for name in levels:
+        corpus[name] = [gadgets[f"{name.lower()}_violation"]][:per_level]
+    checkers = {name: get_level(name) for name in corpus}
+    for i in range(max_tries):
+        if all(len(bucket) >= per_level for bucket in corpus.values()):
+            break
+        history = fuzz_history(seed + i, **(shape or {}))
+        for name, bucket in corpus.items():
+            if len(bucket) < per_level and not checkers[name].satisfies(history):
+                bucket.append(history)
+    missing = [name for name, bucket in corpus.items() if len(bucket) < per_level]
+    if missing:
+        raise RuntimeError(
+            f"could not find {per_level} violating histories for {missing} "
+            f"within {max_tries} seeds"
+        )
+    return corpus

@@ -72,6 +72,127 @@ class TestBench:
         assert "DFS(CC)" in out
 
 
+class TestRecordReplay:
+    def test_record_then_replay_round_trips(self, program_file, tmp_path, capsys):
+        """Acceptance: `repro replay` round-trips a trace from `repro record`."""
+        path = str(tmp_path / "run.trace.jsonl")
+        assert main(["record", program_file, "--isolation", "CC", "--out", path]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+        from repro.trace import Trace
+
+        trace = Trace.load(path)
+        assert trace.header.meta["isolation"] == "CC"
+        assert len(trace) > 0
+
+        assert main(["replay", path]) == 0
+        out = capsys.readouterr().out
+        for level in ("RC", "RA", "CC", "SI", "SER"):
+            assert level in out
+        assert "VIOLATION" not in out
+
+    def test_record_to_stdout(self, program_file, capsys):
+        assert main(["record", program_file, "--out", "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith('{"format": "repro-trace"')
+
+    def test_record_index_selects_distinct_histories(self, program_file, tmp_path, capsys):
+        first = str(tmp_path / "h0.jsonl")
+        second = str(tmp_path / "h1.jsonl")
+        main(["record", program_file, "--isolation", "RC", "--index", "0", "--out", first])
+        main(["record", program_file, "--isolation", "RC", "--index", "1", "--out", second])
+        capsys.readouterr()
+        from repro.trace import Trace
+
+        k0 = Trace.load(first).to_history().canonical_key()
+        k1 = Trace.load(second).to_history().canonical_key()
+        assert k0 != k1
+
+    def test_record_index_out_of_range(self, program_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["record", program_file, "--isolation", "SER", "--index", "99", "--out", "-"])
+
+    def test_record_requires_exactly_one_source(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["record", "--out", "-"])
+        with pytest.raises(SystemExit):
+            main(["record", program_file, "--app", "twitter", "--out", "-"])
+
+    def test_record_app_workload(self, tmp_path, capsys):
+        path = str(tmp_path / "app.trace.jsonl")
+        code = main(["record", "--app", "shoppingCart", "--sessions", "2", "--txns", "1",
+                     "--isolation", "CC", "--out", path])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["replay", path, "--isolation", "CC"]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_replay_online_reports_first_violation(self, tmp_path, capsys):
+        from repro.trace import gadget_traces
+
+        path = str(tmp_path / "cc.trace.jsonl")
+        gadget_traces()["cc_violation"].dump(path)
+        code = main(["replay", path, "--online"])
+        out = capsys.readouterr().out
+        assert code == 1, "a violated level must set the exit code"
+        assert "first observed at event #" in out
+        assert "RC  : consistent" in out
+
+    def test_replay_single_level_exit_codes(self, tmp_path, capsys):
+        from repro.trace import gadget_traces
+
+        path = str(tmp_path / "skew.trace.jsonl")
+        gadget_traces()["ser_violation"].dump(path)
+        assert main(["replay", path, "--isolation", "SI"]) == 0
+        assert main(["replay", path, "--isolation", "SER"]) == 1
+        assert main(["replay", path, "--isolation", "serializable"]) == 1
+        capsys.readouterr()
+
+    def test_replay_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(SystemExit):
+            main(["replay", str(bad)])
+        with pytest.raises(SystemExit):
+            main(["replay", str(tmp_path / "missing.jsonl")])
+
+    def test_replay_rejects_bad_event_order_cleanly(self, tmp_path):
+        """Valid JSON whose events violate the order rules must exit via a
+        clean error on both the batch and online paths, not a traceback."""
+        import json
+
+        bad = tmp_path / "order.jsonl"
+        bad.write_text(
+            json.dumps({"type": "header", "format": "repro-trace", "version": 1,
+                        "variables": ["x"]})
+            + "\n"
+            + json.dumps({"type": "write", "session": "s", "txn": 0,
+                          "var": "x", "value": 1})
+            + "\n"
+        )
+        with pytest.raises(SystemExit, match="missing begin"):
+            main(["replay", str(bad)])
+        with pytest.raises(SystemExit, match="missing begin"):
+            main(["replay", str(bad), "--online"])
+
+    def test_replay_online_rejects_unsupported_level_cleanly(self, tmp_path):
+        from repro.trace import gadget_traces
+
+        path = str(tmp_path / "t.jsonl")
+        gadget_traces()["lost_update"].dump(path)
+        assert main(["replay", path, "--isolation", "TRUE"]) == 0  # batch ok
+        with pytest.raises(SystemExit, match="online"):
+            main(["replay", path, "--isolation", "TRUE", "--online"])
+
+    def test_replay_unknown_level(self, tmp_path, capsys):
+        from repro.trace import gadget_traces
+
+        path = str(tmp_path / "t.jsonl")
+        gadget_traces()["lost_update"].dump(path)
+        with pytest.raises(SystemExit):
+            main(["replay", path, "--isolation", "BOGUS"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

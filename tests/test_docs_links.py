@@ -7,12 +7,14 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "scripts"))
 
-from check_links import broken_links, markdown_files  # noqa: E402
+from check_links import broken_links, github_slug, heading_slugs, markdown_files  # noqa: E402
 
 
-def test_readme_and_architecture_exist():
+def test_readme_and_docs_pages_exist():
     assert (ROOT / "README.md").exists()
     assert (ROOT / "docs" / "architecture.md").exists()
+    assert (ROOT / "docs" / "trace_format.md").exists()
+    assert (ROOT / "docs" / "api.md").exists()
 
 
 def test_no_broken_relative_links():
@@ -23,6 +25,53 @@ def test_markdown_files_include_docs_tree():
     files = {p.relative_to(ROOT).as_posix() for p in markdown_files(ROOT)}
     assert "README.md" in files
     assert "docs/architecture.md" in files
+    assert "docs/trace_format.md" in files
+    assert "docs/api.md" in files
+
+
+def test_new_docs_pages_are_linked_from_readme_and_architecture():
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    architecture = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "docs/trace_format.md" in readme
+    assert "docs/api.md" in readme
+    assert "trace_format.md" in architecture
+    assert "api.md" in architecture
+
+
+def test_github_slugification():
+    assert github_slug("The bitset relation engine") == "the-bitset-relation-engine"
+    assert github_slug("Module ↔ paper mapping") == "module--paper-mapping"
+    assert github_slug("Traces (`repro.trace`)") == "traces-reprotrace"
+
+
+def test_anchor_validation_catches_bad_fragments(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (tmp_path / "README.md").write_text(
+        "# Title\n\n[ok](docs/page.md#real-section)\n[bad](docs/page.md#no-such)\n"
+    )
+    (docs / "page.md").write_text("# Page\n\n## Real section\n")
+    assert [target for _, target in broken_links(tmp_path)] == ["docs/page.md#no-such"]
+
+
+def test_heading_slugs_deduplicate_like_github(tmp_path):
+    md = tmp_path / "dup.md"
+    md.write_text("## Same\n\n## Same\n")
+    assert heading_slugs(md) == {"same", "same-1"}
+
+
+def test_api_reference_covers_the_public_surface():
+    """docs/api.md must mention every name exported by repro and repro.trace."""
+    import repro
+    import repro.trace
+
+    api = (ROOT / "docs" / "api.md").read_text(encoding="utf-8")
+    missing = [
+        name
+        for name in set(repro.__all__) | set(repro.trace.__all__)
+        if not re.search(rf"\b{re.escape(name)}\b", api)
+    ]
+    assert not missing, f"docs/api.md does not mention: {sorted(missing)}"
 
 
 def test_readme_mapping_table_covers_every_package():

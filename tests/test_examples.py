@@ -1,0 +1,42 @@
+"""Every example script must run clean — docs-adjacent code cannot rot.
+
+The examples double as executable documentation (the README and the docs
+link them), so each one is executed in a fresh interpreter exactly the way
+a reader would run it (``PYTHONPATH=src python examples/<name>.py``) and
+must exit 0 with output and no stderr noise.  New examples are picked up
+automatically by the glob.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 6, "the examples directory should not shrink silently"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+    assert not result.stderr.strip(), f"{script.name} wrote to stderr:\n{result.stderr}"
