@@ -26,6 +26,14 @@ Commands
     either in batch or — with ``--online`` — event by event with the
     incremental checker, reporting where each level is first violated.
 
+``difftest``
+    Run workloads on the in-process threaded MVCC engine
+    (:mod:`repro.engine`) across scheduler seeds, record each commit log
+    as a trace, replay it through the online checker, and report each
+    engine configuration's *claimed* vs. *detected* isolation level.
+    Exits 1 when any config fails to uphold its claim (which is the
+    expected outcome for the seeded-bug configs).
+
 Examples::
 
     python -m repro check program.txn --isolation CC --show-histories
@@ -33,6 +41,8 @@ Examples::
     python -m repro bench --sessions 2 --txns 2 --programs 2
     python -m repro record program.txn --isolation CC --out run.trace.jsonl
     python -m repro replay run.trace.jsonl --online
+    python -m repro difftest --config serializable --app tpcc --seeds 20
+    python -m repro difftest --config no_read_locks --out traces/
 """
 
 from __future__ import annotations
@@ -212,6 +222,46 @@ def _describe_trace_event(event) -> str:
     return core
 
 
+def _cmd_difftest(args: argparse.Namespace) -> int:
+    import os
+
+    from .engine.harness import run_difftest
+    from .engine.locks import EngineError
+
+    on_run = None
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+
+        def on_run(result):
+            run = result.run
+            safe = run.trace.header.name.replace("/", "_").replace(":", "_")
+            path = os.path.join(args.out, f"{safe}.trace.jsonl")
+            run.trace.dump(path)
+            status = "ok" if result.claim_holds else "VIOLATES CLAIM"
+            print(f"wrote {path} ({len(run.trace)} events, {status})")
+
+    configs = args.config or None
+    workloads = args.app or None
+    seeds = [args.seed] if args.seed is not None else range(args.seeds)
+    try:
+        report = run_difftest(
+            configs=configs,
+            workloads=workloads,
+            seeds=seeds,
+            sessions=args.threads,
+            txns_per_session=args.txns,
+            on_run=on_run,
+        )
+    except (EngineError, KeyError) as err:
+        raise SystemExit(f"error: {err.args[0] if err.args else err}")
+    print(report.render())
+    if report.liars:
+        print(f"\n{len(report.liars)} config(s) failed to uphold their claimed level.")
+        return 1
+    print("\nall configs upheld their claimed isolation levels.")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     result = fig14(
         sessions=args.sessions,
@@ -276,6 +326,32 @@ def build_parser() -> argparse.ArgumentParser:
         "and report where each level is first violated",
     )
     replay.set_defaults(fn=_cmd_replay)
+
+    difftest = sub.add_parser(
+        "difftest",
+        help="differential-test the threaded MVCC engine against the online checker",
+    )
+    difftest.add_argument(
+        "--config",
+        action="append",
+        metavar="NAME",
+        help="engine config (honest name, base+bug, or bare bug name); "
+        "repeatable; default: all honest and bugged configs",
+    )
+    difftest.add_argument(
+        "--app",
+        action="append",
+        metavar="WORKLOAD",
+        help="workload: hotkeys, increments, demo:<bug>, or an application "
+        "name (tpcc, twitter, ...); repeatable; default: hotkeys plus the "
+        "config's bug demo",
+    )
+    difftest.add_argument("--seeds", type=int, default=8, help="sweep scheduler seeds 0..N-1 (default 8)")
+    difftest.add_argument("--seed", type=int, default=None, help="run exactly one scheduler seed")
+    difftest.add_argument("--threads", type=int, default=2, help="sessions/threads per workload (default 2)")
+    difftest.add_argument("--txns", type=int, default=2, help="transactions per session (default 2)")
+    difftest.add_argument("--out", metavar="DIR", default=None, help="write every recorded trace to DIR")
+    difftest.set_defaults(fn=_cmd_difftest)
 
     bench = sub.add_parser("bench", help="small Fig. 14-style algorithm comparison")
     bench.add_argument("--sessions", type=int, default=2)

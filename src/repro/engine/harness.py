@@ -1,0 +1,534 @@
+"""Differential-testing harness: programs → engine → trace → checker.
+
+The harness closes the loop the ROADMAP calls "real storage engine in the
+loop": it runs an ordinary :class:`~repro.lang.program.Program` — one OS
+thread per session, each transaction interpreted by the same generator
+the model checker uses (:func:`repro.semantics.executor._run`) — against
+an :class:`~repro.engine.mvcc.MVCCEngine`, adapts the engine's commit log
+into a v1 trace, replays that trace through
+:class:`~repro.checking.online.OnlineChecker`, and compares the level the
+engine *claims* against the strongest level the checker can *confirm*.
+
+Engine-forced aborts (deadlock victims, first-committer-wins losers) are
+retried as fresh transactions of the same session, exactly like a real
+client; the trace therefore contains the aborted attempts too, which the
+checker's abort semantics (§2.2.1) handle natively.
+
+:func:`run_difftest` sweeps seeds of the deterministic lockstep scheduler
+(:class:`~repro.engine.schedule.SeededScheduler`), so "config X lies on
+workload W at seed k" is a reproducible regression, not a flaky race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import random
+import threading
+
+from ..apps.workloads import APPLICATIONS, client_program
+from ..checking.online import DEFAULT_LEVELS, OnlineChecker, OnlineStep
+from ..core.events import TxnId
+from ..lang.expr import L
+from ..lang.program import Program, ProgramBuilder
+from ..semantics.executor import ReadOp, WriteOp, _run
+from ..trace.format import Trace
+from .locks import TransactionAborted, TxnKey
+from .mvcc import EngineConfig, EngineStats, MVCCEngine, SEEDED_BUGS, engine_configs
+from .schedule import FreeScheduler, Scheduler, SeededScheduler
+
+#: How often an engine-aborted transaction is retried before giving up.
+DEFAULT_MAX_RETRIES = 8
+
+
+# ---------------------------------------------------------------------------
+# running a program on the engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineRun:
+    """One workload execution: the recorded trace plus engine forensics."""
+
+    program: Program
+    config: EngineConfig
+    trace: Trace
+    stats: EngineStats
+    spans: Dict[TxnKey, Tuple[int, int]]
+    seed: Optional[int]
+    gave_up: List[Tuple[str, int]] = field(default_factory=list)
+
+    def check(self, levels: Iterable[str] = DEFAULT_LEVELS) -> "RunVerdict":
+        """Replay the trace through the online checker."""
+        checker = OnlineChecker.from_trace(self.trace, levels=levels)
+        checker.replay(self.trace)
+        verdicts = checker.verdicts
+        return RunVerdict(
+            run=self,
+            verdicts=verdicts,
+            first_violations={
+                name: checker.first_violation(name)
+                for name, ok in verdicts.items()
+                if not ok
+            },
+        )
+
+    def concurrent(self, a: TxnId, b: TxnId) -> bool:
+        """Whether two transactions' engine operation spans overlapped."""
+        sa = self.spans.get((a.session, a.index))
+        sb = self.spans.get((b.session, b.index))
+        if sa is None or sb is None:
+            return False
+        return sa[0] <= sb[1] and sb[0] <= sa[1]
+
+
+@dataclass
+class RunVerdict:
+    """Checker verdicts for one engine run."""
+
+    run: EngineRun
+    verdicts: Dict[str, bool]
+    first_violations: Dict[str, Optional[OnlineStep]]
+
+    @property
+    def detected(self) -> Optional[str]:
+        return detected_level(self.verdicts)
+
+    @property
+    def claim_holds(self) -> bool:
+        return self.verdicts.get(self.run.config.claimed, False)
+
+
+def detected_level(verdicts: Mapping[str, bool]) -> Optional[str]:
+    """The strongest level of the ladder whose prefix all holds.
+
+    Levels are nested (RC ⊇ RA ⊇ CC ⊇ SI ⊇ SER), so the meaningful answer
+    is the last rung reachable without stepping over a violation; ``None``
+    means not even read committed survived.
+    """
+    detected: Optional[str] = None
+    for name in DEFAULT_LEVELS:
+        if name not in verdicts:
+            continue
+        if not verdicts[name]:
+            break
+        detected = name
+    return detected
+
+
+def run_program(
+    program: Program,
+    config: EngineConfig,
+    seed: Optional[int] = None,
+    scheduler: Optional[Scheduler] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    name: Optional[str] = None,
+) -> EngineRun:
+    """Execute ``program`` on a fresh engine, one thread per session.
+
+    With ``seed`` the deterministic lockstep scheduler drives the threads
+    (same seed → byte-identical trace); with neither ``seed`` nor
+    ``scheduler`` the threads free-run.
+    """
+    if scheduler is None:
+        scheduler = SeededScheduler(seed) if seed is not None else FreeScheduler()
+    engine = MVCCEngine(
+        config,
+        program.variables,
+        initial=dict(program.initial_values),
+        scheduler=scheduler,
+        default_initial=program.initial_value,
+    )
+    scheduler.register(program.sessions)
+    gave_up: List[Tuple[str, int]] = []
+    errors: Dict[str, BaseException] = {}
+    threads = [
+        threading.Thread(
+            target=_session_worker,
+            args=(engine, scheduler, session, txns, max_retries, gave_up, errors),
+            name=f"difftest-{session}",
+            daemon=True,
+        )
+        for session, txns in program.sessions.items()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        if thread.is_alive():
+            raise RuntimeError(f"worker {thread.name} did not finish (engine wedged?)")
+    if errors:
+        session, err = sorted(errors.items())[0]
+        raise RuntimeError(f"worker for session {session!r} failed: {err!r}") from err
+    trace = engine.to_trace(
+        name=name or f"{program.name}@{config.name}",
+        meta={"seed": seed, "program": program.name},
+    )
+    return EngineRun(
+        program=program,
+        config=config,
+        trace=trace,
+        stats=engine.stats,
+        spans=dict(engine.spans),
+        seed=seed,
+        gave_up=gave_up,
+    )
+
+
+def _session_worker(
+    engine: MVCCEngine,
+    scheduler: Scheduler,
+    session: str,
+    txns: Sequence,
+    max_retries: int,
+    gave_up: List[Tuple[str, int]],
+    errors: Dict[str, BaseException],
+) -> None:
+    try:
+        for position, txn_decl in enumerate(txns):
+            attempts = 0
+            while True:
+                try:
+                    _run_transaction(engine, scheduler, session, txn_decl)
+                    break
+                except TransactionAborted:
+                    attempts += 1
+                    if attempts > max_retries:
+                        gave_up.append((session, position))
+                        break
+    except BaseException as err:  # surfaced to run_program after join
+        errors[session] = err
+    finally:
+        scheduler.finish(session)
+
+
+def _run_transaction(engine: MVCCEngine, scheduler: Scheduler, session: str, txn_decl) -> None:
+    """Drive one transaction body against the engine, op by op."""
+    handle = scheduler.run_op(session, lambda: engine.begin(session))
+    env: Dict[str, Hashable] = {}
+    gen = _run(txn_decl.body, env)
+    aborted = False
+    try:
+        op = next(gen)
+        while True:
+            if isinstance(op, ReadOp):
+                var = op.var
+                value = scheduler.run_op(session, lambda: engine.read(handle, var))
+                op = gen.send(value)
+            elif isinstance(op, WriteOp):
+                var, val = op.var, op.value
+                scheduler.run_op(session, lambda: engine.write(handle, var, val))
+                op = gen.send(None)
+            else:  # pragma: no cover - _run only yields reads and writes
+                raise TypeError(f"unexpected operation {op!r}")
+    except StopIteration as stop:
+        aborted = bool(stop.value)
+    if aborted:
+        scheduler.run_op(session, lambda: engine.abort(handle))
+    else:
+        scheduler.run_op(session, lambda: engine.commit(handle))
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+
+def hotkey_program(
+    sessions: int = 3, txns_per_session: int = 3, seed: int = 0
+) -> Program:
+    """A contended micro-workload over three keys.
+
+    Each transaction is drawn (seeded) from a pattern mix designed to
+    exercise every anomaly family: hot-key increments (lost updates),
+    read-only audits (fractured/stale reads), x/y pair writers and readers
+    in both orders (co-cycle shapes), and write-skew pairs.
+    """
+    rng = random.Random(seed)
+    p = ProgramBuilder(f"hotkeys-{sessions}x{txns_per_session}", extra_variables=("h", "x", "y"))
+    stamp = 0
+    for s in range(sessions):
+        sb = p.session(f"c{s}")
+        for _ in range(txns_per_session):
+            stamp += 1
+            pattern = rng.choice(
+                ["incr", "incr", "audit", "pair_write", "pair_read_xy", "pair_read_yx", "skew"]
+            )
+            t = sb.transaction(pattern)
+            if pattern == "incr":
+                t.read("a", "h")
+                t.write("h", L("a") + 1)
+            elif pattern == "audit":
+                t.read("a", "h")
+                t.read("b", "x")
+                t.read("c", "y")
+            elif pattern == "pair_write":
+                t.write("x", stamp)
+                t.write("y", stamp)
+            elif pattern == "pair_read_xy":
+                t.read("a", "x")
+                t.read("b", "y")
+            elif pattern == "pair_read_yx":
+                t.read("b", "y")
+                t.read("a", "x")
+            else:  # skew
+                var = rng.choice(["x", "y"])
+                t.read("a", "x")
+                t.read("b", "y")
+                t.write(var, L("a") + L("b") + 1)
+    return p.build()
+
+
+def increment_program(sessions: int, txns_per_session: int) -> Program:
+    """Pure hot-key increments: the classic lost-update stress workload."""
+    p = ProgramBuilder(f"increments-{sessions}x{txns_per_session}")
+    for s in range(sessions):
+        sb = p.session(f"c{s}")
+        for _ in range(txns_per_session):
+            t = sb.transaction("incr")
+            t.read("a", "h")
+            t.write("h", L("a") + 1)
+    return p.build()
+
+
+def _demo_no_read_locks() -> Program:
+    # Pure write skew: each txn writes a single key, so the only anomaly
+    # any interleaving can produce violates exactly SER.
+    p = ProgramBuilder("demo-write-skew")
+    for mine, theirs in (("x", "y"), ("y", "x")):
+        t = p.session(f"w{mine}").transaction("skew")
+        t.read("a", mine)
+        t.read("b", theirs)
+        t.write(mine, L("a") + L("b") + 1)
+    return p.build()
+
+
+def _demo_first_committer_loses() -> Program:
+    # Two concurrent increments of the same key: the only anomaly is a
+    # lost update, which passes RC/RA/CC and violates exactly SI.
+    return increment_program(sessions=2, txns_per_session=1)
+
+
+def _demo_stale_snapshot() -> Program:
+    # Session "acct" increments h, then audits it read-only; session "bg"
+    # commits unrelated traffic so the commit counter (and therefore the
+    # lagged snapshot horizon) moves between the two.  When the audit's
+    # snapshot misses the session's own committed increment the so-edge
+    # forces a co cycle: an RA violation while RC still holds.
+    p = ProgramBuilder("demo-stale-snapshot")
+    acct = p.session("acct")
+    t = acct.transaction("incr")
+    t.read("a", "h")
+    t.write("h", L("a") + 1)
+    audit = acct.transaction("audit")
+    audit.read("b", "h")
+    bg = p.session("bg")
+    for _ in range(2):
+        t = bg.transaction("noise")
+        t.read("k0", "k")
+        t.write("k", L("k0") + 1)
+    return p.build()
+
+
+def _demo_early_release() -> Program:
+    # Mutual dirty reads: both writers commit, so the write-read cycle is
+    # between committed transactions and every level (even RC) fails.
+    p = ProgramBuilder("demo-dirty-read")
+    for mine, theirs in (("x", "y"), ("y", "x")):
+        t = p.session(f"w{mine}").transaction("dirty")
+        t.write(mine, 1)
+        t.read("a", theirs)
+    return p.build()
+
+
+def _demo_lagging_replica() -> Program:
+    # Two writers update both keys; two readers scan them in opposite
+    # orders.  With reads of x lagging one commit, the readers observe the
+    # writers in contradictory orders — the textbook RC co-cycle.  The
+    # leading z-reads just delay the readers so the writers usually finish
+    # first.
+    p = ProgramBuilder("demo-replica-lag", extra_variables=("z",))
+    for i, w in enumerate(("w1", "w2")):
+        t = p.session(w).transaction("pair")
+        t.write("x", i + 1)
+        t.write("y", i + 1)
+    r1 = p.session("r1").transaction("scan-xy")
+    r1.read("p", "z")
+    r1.read("q", "z")
+    r1.read("a", "x")
+    r1.read("b", "y")
+    r2 = p.session("r2").transaction("scan-yx")
+    r2.read("p", "z")
+    r2.read("q", "z")
+    r2.read("b", "y")
+    r2.read("a", "x")
+    return p.build()
+
+
+#: Per-bug demo workloads whose only reachable anomaly is the bug's
+#: signature shape — this is what pins "detected at exactly level L".
+BUG_DEMOS: Dict[str, Callable[[], Program]] = {
+    "no_read_locks": _demo_no_read_locks,
+    "first_committer_loses": _demo_first_committer_loses,
+    "stale_snapshot": _demo_stale_snapshot,
+    "early_release": _demo_early_release,
+    "lagging_replica": _demo_lagging_replica,
+}
+
+
+def workload_program(
+    workload: str, sessions: int = 2, txns_per_session: int = 2, seed: int = 0
+) -> Program:
+    """Resolve a workload name to a program.
+
+    Accepts ``hotkeys``, ``increments``, any application name from
+    :data:`repro.apps.workloads.APPLICATIONS`, or ``demo:<bug>``.
+    """
+    if workload == "hotkeys":
+        return hotkey_program(sessions, txns_per_session, seed)
+    if workload == "increments":
+        return increment_program(sessions, txns_per_session)
+    if workload.startswith("demo:"):
+        bug = workload[len("demo:"):]
+        if bug not in BUG_DEMOS:
+            raise KeyError(f"no demo workload for bug {bug!r} (have {sorted(BUG_DEMOS)})")
+        return BUG_DEMOS[bug]()
+    if workload in APPLICATIONS:
+        return client_program(
+            workload, sessions=sessions, txns_per_session=txns_per_session, seed=seed
+        )
+    raise KeyError(
+        f"unknown workload {workload!r}; try hotkeys, increments, demo:<bug>, "
+        f"or one of {sorted(APPLICATIONS)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the difftest sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConfigReport:
+    """Claimed vs. detected level for one config across the whole sweep."""
+
+    config: EngineConfig
+    results: List[RunVerdict]
+
+    @property
+    def detected(self) -> Optional[str]:
+        """The strongest level *every* run satisfied (the sweep's floor)."""
+        floor: Optional[str] = "SER"
+        for result in self.results:
+            d = result.detected
+            if d is None:
+                return None
+            if floor is None or _rank(d) < _rank(floor):
+                floor = d
+        return floor
+
+    @property
+    def honest(self) -> bool:
+        """Whether every run upheld the claimed level."""
+        return all(result.claim_holds for result in self.results)
+
+    @property
+    def violations(self) -> List[RunVerdict]:
+        return [result for result in self.results if not result.claim_holds]
+
+
+@dataclass
+class DifftestReport:
+    """The full sweep: config name → :class:`ConfigReport`."""
+
+    configs: Dict[str, ConfigReport]
+
+    @property
+    def liars(self) -> List[str]:
+        return [name for name, report in self.configs.items() if not report.honest]
+
+    @property
+    def ok(self) -> bool:
+        return not self.liars
+
+    def render(self) -> str:
+        lines = [
+            f"{'config':<38} {'claimed':<8} {'detected':<9} {'runs':<5} verdict",
+            "-" * 78,
+        ]
+        for name in sorted(self.configs):
+            report = self.configs[name]
+            detected = report.detected or "none"
+            verdict = "ok" if report.honest else "LYING"
+            lines.append(
+                f"{name:<38} {report.config.claimed:<8} {detected:<9} "
+                f"{len(report.results):<5} {verdict}"
+            )
+            for result in report.violations[:1]:
+                step = result.first_violations.get(result.run.config.claimed)
+                where = (
+                    f"event #{step.index} ({step.event.op} {step.event.var or ''} "
+                    f"by {step.event.session}/{step.event.txn})".replace("  ", " ")
+                    if step is not None
+                    else "n/a"
+                )
+                lines.append(
+                    f"    first {result.run.config.claimed} violation: "
+                    f"{result.run.trace.header.name} seed={result.run.seed} {where}"
+                )
+        return "\n".join(lines)
+
+
+def _rank(level: str) -> int:
+    return DEFAULT_LEVELS.index(level)
+
+
+def run_difftest(
+    configs: Optional[Iterable[str]] = None,
+    workloads: Optional[Iterable[str]] = None,
+    seeds: Iterable[int] = range(8),
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    levels: Iterable[str] = DEFAULT_LEVELS,
+    on_run: Optional[Callable[[RunVerdict], None]] = None,
+) -> DifftestReport:
+    """Sweep configs × workloads × scheduler seeds; check every trace.
+
+    ``configs`` defaults to every named config (honest and bugged);
+    ``workloads`` defaults to the config's bug demo (bugged configs) plus
+    ``hotkeys``.  ``on_run`` is invoked once per finished run — the CLI
+    uses it to write trace files.
+    """
+    all_configs = engine_configs()
+    if configs is None:
+        chosen = list(all_configs.values())
+    else:
+        from .mvcc import get_engine_config
+
+        chosen = [get_engine_config(name) for name in configs]
+    seeds = list(seeds)
+    reports: Dict[str, ConfigReport] = {}
+    for config in chosen:
+        if workloads is None:
+            names = ["hotkeys"] + ([f"demo:{config.bug}"] if config.bug else [])
+        else:
+            names = list(workloads)
+        results: List[RunVerdict] = []
+        for workload in names:
+            for seed in seeds:
+                program = workload_program(workload, sessions, txns_per_session, seed)
+                run = run_program(
+                    program,
+                    config,
+                    seed=seed,
+                    max_retries=max_retries,
+                    name=f"{workload}@{config.name}#s{seed}",
+                )
+                result = run.check(levels=levels)
+                results.append(result)
+                if on_run is not None:
+                    on_run(result)
+        reports[config.name] = ConfigReport(config=config, results=results)
+    return DifftestReport(configs=reports)

@@ -1,0 +1,154 @@
+"""Thread schedulers for the MVCC engine harness.
+
+Every engine operation a worker thread performs goes through
+``scheduler.run_op(worker, fn)``.  Two policies are provided:
+
+* :class:`FreeScheduler` — real concurrency.  Threads run at OS speed and
+  are serialized only by the engine latch; an operation that would block
+  on a lock simply retries after a short condition wait.
+
+* :class:`SeededScheduler` — deterministic lockstep.  All live workers
+  park between operations; a seeded RNG picks which parked worker may
+  perform exactly one engine operation.  Because the grant decision is
+  only ever taken when *every* live worker is parked, the sequence of
+  grants — and therefore the engine's commit log — is a pure function of
+  ``(program, config, seed)``.  This is what makes the seeded engine bugs
+  reproducible regression scenarios rather than flaky races.
+
+Workers that fail to acquire a lock are marked *blocked* and excluded
+from the lottery until the engine releases any lock (``wake``), which
+keeps the lockstep from spinning on a doomed acquisition.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Dict, Iterable, Optional, Set, TypeVar
+
+from .locks import WouldBlock
+
+T = TypeVar("T")
+
+
+class SchedulerStuck(RuntimeError):
+    """Every live worker is blocked and nothing can wake them (engine bug)."""
+
+
+class Scheduler:
+    """Interface shared by both scheduling policies."""
+
+    def register(self, workers: Iterable[str]) -> None:
+        """Declare the full worker set before any thread starts."""
+
+    def run_op(self, worker: str, fn: Callable[[], T]) -> T:
+        """Run one engine operation on behalf of ``worker``."""
+        raise NotImplementedError
+
+    def finish(self, worker: str) -> None:
+        """The worker has no more operations; stop scheduling it."""
+
+    def wake(self) -> None:
+        """The engine released locks; blocked workers may retry."""
+
+
+class FreeScheduler(Scheduler):
+    """Real thread timing: retry blocked operations after a condition wait."""
+
+    def __init__(self, retry_interval: float = 0.002):
+        self._cond = threading.Condition()
+        self._retry_interval = retry_interval
+
+    def run_op(self, worker: str, fn: Callable[[], T]) -> T:
+        while True:
+            try:
+                return fn()
+            except WouldBlock:
+                with self._cond:
+                    self._cond.wait(timeout=self._retry_interval)
+
+    def wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+
+class SeededScheduler(Scheduler):
+    """Deterministic lockstep driven by a seeded RNG.
+
+    Invariant: a grant is only decided when every live worker is parked,
+    so each RNG draw sees the same candidate set on every run with the
+    same seed — real threads, deterministic interleaving.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._live: Set[str] = set()
+        self._parked: Set[str] = set()
+        self._blocked: Dict[str, str] = {}  # worker → key it last blocked on
+        self._turn: Optional[str] = None
+        self.steps = 0
+
+    def register(self, workers: Iterable[str]) -> None:
+        self._live = set(workers)
+
+    def run_op(self, worker: str, fn: Callable[[], T]) -> T:
+        while True:
+            self._await_turn(worker)
+            blocked: Optional[WouldBlock] = None
+            try:
+                result = fn()
+            except WouldBlock as wb:
+                blocked = wb
+            except BaseException:
+                self._yield_turn(worker)
+                raise
+            self._yield_turn(worker, blocked_on=blocked.key if blocked else None)
+            if blocked is None:
+                return result
+
+    def finish(self, worker: str) -> None:
+        with self._cond:
+            self._live.discard(worker)
+            self._parked.discard(worker)
+            self._blocked.pop(worker, None)
+            self._maybe_grant()
+            self._cond.notify_all()
+
+    def wake(self) -> None:
+        # Called from inside an op (the runner holds the turn): any lock
+        # release might unblock a parked worker, so clear the marks.
+        with self._cond:
+            self._blocked.clear()
+
+    # -- internals -------------------------------------------------------------
+
+    def _await_turn(self, worker: str) -> None:
+        with self._cond:
+            self._parked.add(worker)
+            self._maybe_grant()
+            self._cond.wait_for(lambda: self._turn == worker)
+
+    def _yield_turn(self, worker: str, blocked_on: Optional[str] = None) -> None:
+        with self._cond:
+            self._turn = None
+            self._parked.discard(worker)
+            if blocked_on is not None:
+                self._blocked[worker] = blocked_on
+            self._maybe_grant()
+            self._cond.notify_all()
+
+    def _maybe_grant(self) -> None:
+        if self._turn is not None or not self._live:
+            return
+        if self._parked != self._live:
+            return  # a worker is still running or in transit to park
+        runnable = sorted(self._parked - set(self._blocked))
+        if not runnable:
+            raise SchedulerStuck(
+                f"all live workers blocked: {dict(sorted(self._blocked.items()))}"
+            )
+        self._turn = self._rng.choice(runnable)
+        self.steps += 1
+        self._cond.notify_all()

@@ -355,6 +355,7 @@ class Trace:
         variables: Optional[Iterable[str]] = None,
         initial: Optional[Mapping[str, Hashable]] = None,
         name: str = "trace",
+        meta: Optional[Dict] = None,
     ) -> "Trace":
         """Adapt plain dict/log input (e.g. parsed server logs) to a trace.
 
@@ -362,13 +363,21 @@ class Trace:
         fields of the schema; this is exactly
         :meth:`TraceEvent.from_json_obj`, so values must already be in the
         JSON encoding.  When ``variables`` is omitted it is inferred from
-        the variables the records mention.
+        the variables the records mention plus the keys of ``initial`` (so
+        a round-trip through :meth:`dumps`/:meth:`loads` never rejects its
+        own header).  An empty or commit-only log is a valid input: the
+        result is a trace over the declared variables whose replay is the
+        initial state plus whatever empty transactions the log mentions.
         """
         events = [TraceEvent.from_json_obj(record) for record in records]
         if variables is None:
-            variables = sorted({e.var for e in events if e.var is not None})
+            mentioned = {e.var for e in events if e.var is not None}
+            variables = sorted(mentioned | set(initial or {}))
         header = TraceHeader(
-            variables=tuple(variables), initial=dict(initial or {}), name=name
+            variables=tuple(variables),
+            initial=dict(initial or {}),
+            name=name,
+            meta=dict(meta or {}),
         )
         return cls(header, events)
 

@@ -193,6 +193,56 @@ class TestRecordReplay:
             main(["replay", path, "--isolation", "BOGUS"])
 
 
+class TestDifftest:
+    def test_honest_config_passes_and_traces_replay_clean(self, tmp_path, capsys):
+        """Round trip: difftest run → trace files → replay --online exits 0."""
+        out = str(tmp_path / "traces")
+        code = main(["difftest", "--config", "serializable", "--app", "hotkeys",
+                     "--seeds", "3", "--threads", "2", "--txns", "2", "--out", out])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "upheld their claimed isolation levels" in stdout
+        assert "LYING" not in stdout
+        traces = sorted((tmp_path / "traces").glob("*.trace.jsonl"))
+        assert len(traces) == 3
+        for path in traces:
+            assert main(["replay", str(path), "--online"]) == 0
+        capsys.readouterr()
+
+    def test_seeded_bug_config_fails_and_a_trace_replays_dirty(self, tmp_path, capsys):
+        """A bugged config must exit 1, and at least one recorded trace must
+        independently fail `repro replay --online` at the claimed level."""
+        out = str(tmp_path / "traces")
+        code = main(["difftest", "--config", "first_committer_loses",
+                     "--app", "demo:first_committer_loses",
+                     "--seeds", "6", "--threads", "2", "--txns", "1", "--out", out])
+        stdout = capsys.readouterr().out
+        assert code == 1
+        assert "LYING" in stdout
+        assert "first SI violation" in stdout
+        replay_codes = set()
+        for path in sorted((tmp_path / "traces").glob("*.trace.jsonl")):
+            replay_codes.add(main(["replay", str(path), "--isolation", "SI", "--online"]))
+        capsys.readouterr()
+        assert 1 in replay_codes, "no recorded trace reproduces the violation"
+
+    def test_single_seed_is_deterministic(self, tmp_path, capsys):
+        paths = []
+        for attempt in ("a", "b"):
+            out = str(tmp_path / attempt)
+            assert main(["difftest", "--config", "serializable", "--app", "increments",
+                         "--seed", "7", "--out", out]) == 0
+            paths.append(next((tmp_path / attempt).glob("*.trace.jsonl")))
+        capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+
+    def test_unknown_config_and_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="unknown engine config"):
+            main(["difftest", "--config", "eventually-consistent"])
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["difftest", "--config", "serializable", "--app", "nosuch"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

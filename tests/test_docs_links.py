@@ -15,6 +15,7 @@ def test_readme_and_docs_pages_exist():
     assert (ROOT / "docs" / "architecture.md").exists()
     assert (ROOT / "docs" / "trace_format.md").exists()
     assert (ROOT / "docs" / "api.md").exists()
+    assert (ROOT / "docs" / "engine.md").exists()
 
 
 def test_no_broken_relative_links():
@@ -27,6 +28,7 @@ def test_markdown_files_include_docs_tree():
     assert "docs/architecture.md" in files
     assert "docs/trace_format.md" in files
     assert "docs/api.md" in files
+    assert "docs/engine.md" in files
 
 
 def test_new_docs_pages_are_linked_from_readme_and_architecture():
@@ -34,8 +36,10 @@ def test_new_docs_pages_are_linked_from_readme_and_architecture():
     architecture = (ROOT / "docs" / "architecture.md").read_text(encoding="utf-8")
     assert "docs/trace_format.md" in readme
     assert "docs/api.md" in readme
+    assert "docs/engine.md" in readme
     assert "trace_format.md" in architecture
     assert "api.md" in architecture
+    assert "engine.md" in architecture
 
 
 def test_github_slugification():
@@ -61,14 +65,16 @@ def test_heading_slugs_deduplicate_like_github(tmp_path):
 
 
 def test_api_reference_covers_the_public_surface():
-    """docs/api.md must mention every name exported by repro and repro.trace."""
+    """docs/api.md must mention every name exported by repro, repro.trace
+    and repro.engine."""
     import repro
+    import repro.engine
     import repro.trace
 
     api = (ROOT / "docs" / "api.md").read_text(encoding="utf-8")
     missing = [
         name
-        for name in set(repro.__all__) | set(repro.trace.__all__)
+        for name in set(repro.__all__) | set(repro.trace.__all__) | set(repro.engine.__all__)
         if not re.search(rf"\b{re.escape(name)}\b", api)
     ]
     assert not missing, f"docs/api.md does not mention: {sorted(missing)}"

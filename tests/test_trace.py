@@ -274,6 +274,40 @@ class TestFromRecords:
         for name in LEVELS:
             assert get_level(name).satisfies(history)
 
+    def test_empty_log_is_a_valid_trace(self):
+        """An engine that committed nothing still yields a replayable trace."""
+        trace = Trace.from_records([], variables=["x"], initial={"x": 7})
+        assert len(trace) == 0
+        history = trace.to_history()
+        assert set(history.txns) == {INIT_TXN}
+        for name in LEVELS:
+            assert get_level(name).satisfies(history)
+        assert Trace.loads(trace.dumps()) == trace
+
+    def test_commit_only_log_replays_cleanly(self):
+        """Begin/commit pairs with no reads or writes are a valid history."""
+        records = []
+        for session in ("a", "b"):
+            records.append({"type": "begin", "session": session, "txn": 0})
+            records.append({"type": "commit", "session": session, "txn": 0})
+        trace = Trace.from_records(records, variables=["x"])
+        history = trace.to_history()
+        assert len(history.txns) == 3  # init + two empty transactions
+        for name in LEVELS:
+            assert get_level(name).satisfies(history)
+        assert Trace.loads(trace.dumps()) == trace
+
+    def test_variables_inferred_from_initial_keys(self):
+        """Initial values alone must declare their variables, or the header
+        would reject its own round-trip."""
+        trace = Trace.from_records([], initial={"x": 5})
+        assert trace.header.variables == ("x",)
+        assert Trace.loads(trace.dumps()).header.initial == {"x": 5}
+
+    def test_meta_passthrough(self):
+        trace = Trace.from_records([], variables=["x"], meta={"engine": "mvcc"})
+        assert Trace.loads(trace.dumps()).header.meta == {"engine": "mvcc"}
+
 
 class TestFuzzer:
     def test_gadgets_violate_exactly_their_level_and_up(self):
