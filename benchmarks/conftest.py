@@ -14,7 +14,10 @@ at either size.  Rendered result tables are written to
 ``benchmarks/results/`` for inclusion in EXPERIMENTS.md.
 """
 
+import json
 import os
+import platform
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -50,3 +53,41 @@ def results_dir() -> Path:
 
 def save_result(results_dir: Path, name: str, text: str) -> None:
     (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def _commit_hash() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def save_bench_json(results_dir: Path, name: str, cases, extra=None) -> Path:
+    """Write ``BENCH_<name>.json`` in the machine-readable record format.
+
+    ``cases`` is a sequence of dicts, each with at least ``name`` and
+    ``seconds`` — the shape ``repro bench diff`` consumes.  Every record is
+    stamped with the commit hash and python version so two records can be
+    attributed when diffed.
+    """
+    payload = {
+        "schema": "repro-bench-v1",
+        "benchmark": name,
+        "commit": _commit_hash(),
+        "python": platform.python_version(),
+        "cases": [dict(case) for case in cases],
+    }
+    if extra:
+        payload.update(extra)
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from conftest import save_result
+from conftest import save_bench_json, save_result
 from repro.core import HistoryBuilder, RelationMatrix
 from repro.core.relations import reachable_from
 from repro.bench.reporting import format_table
@@ -59,6 +59,15 @@ def best_of(repeats, fn):
 
 
 @pytest.fixture(scope="module")
+def bitrel_cases(results_dir):
+    """Accumulates timing cases across the tests of this module, then writes
+    the machine-readable ``BENCH_bitrel.json`` record at module teardown."""
+    cases = []
+    yield cases
+    save_bench_json(results_dir, "bitrel", cases)
+
+
+@pytest.fixture(scope="module")
 def large_history():
     history = build_history(sessions=10, txns_per_session=6)  # 61 transactions
     assert len(history.txns) >= 50
@@ -72,7 +81,7 @@ def relation_edges(history):
     return [(src, dst) for src, succs in adj.items() for dst in succs]
 
 
-def test_closure_bitset_beats_naive(large_history, results_dir):
+def test_closure_bitset_beats_naive(large_history, results_dir, bitrel_cases):
     adj = large_history.so_wr_adjacency()
     edges = relation_edges(large_history)
     nodes = list(large_history.txns)
@@ -112,6 +121,13 @@ def test_closure_bitset_beats_naive(large_history, results_dir):
     ]
     text = format_table(["workload", "dict-of-set (ms)", "bitset (ms)", "speedup"], rows)
     save_result(results_dir, "bitrel_micro", text)
+    bitrel_cases.extend(
+        [
+            {"name": "closure/61", "seconds": bitset_s},
+            {"name": "queries/2000", "seconds": bitset_q},
+            {"name": f"incremental/{len(incr_edges)}", "seconds": incremental_s},
+        ]
+    )
     print("\n" + text)
 
     assert bitset_s < naive_s, "bitset closure must beat DFS-per-node on ≥50 txns"
@@ -119,7 +135,7 @@ def test_closure_bitset_beats_naive(large_history, results_dir):
     assert incremental_s < recompute_s, "add_edge must beat recompute-per-edge"
 
 
-def test_incremental_scales_with_affected_rows(results_dir):
+def test_incremental_scales_with_affected_rows(results_dir, bitrel_cases):
     """Closure maintenance stays cheap as the history grows: the per-edge
     cost of ``add_edge`` must grow far slower than a full rebuild."""
     rows = []
@@ -139,6 +155,8 @@ def test_incremental_scales_with_affected_rows(results_dir):
         rebuild_s = best_of(3, lambda: RelationMatrix(nodes, edges))
         incr_s = best_of(3, add_all)
         rows.append((f"{len(nodes)} txns", f"{rebuild_s * 1e3:.3f}", f"{incr_s / 100 * 1e3:.4f}"))
+        bitrel_cases.append({"name": f"build/{len(nodes)}", "seconds": rebuild_s})
+        bitrel_cases.append({"name": f"add_edge_100/{len(nodes)}", "seconds": incr_s})
         assert incr_s / 100 < rebuild_s, "one add_edge must be far cheaper than one rebuild"
     text = format_table(["history size", "full build (ms)", "per add_edge (ms)"], rows)
     save_result(results_dir, "bitrel_incremental", text)

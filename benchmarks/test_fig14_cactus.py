@@ -19,7 +19,7 @@ import statistics
 
 import pytest
 
-from conftest import PROGRAMS_PER_APP, SESSIONS, TIMEOUT, TXNS, save_result
+from conftest import PROGRAMS_PER_APP, SESSIONS, TIMEOUT, TXNS, save_bench_json, save_result
 from repro.bench import fig14, render_fig14, render_records_table
 
 
@@ -47,6 +47,23 @@ def test_fig14(benchmark, fig14_result, results_dir):
     )
     text = render_fig14(fig14_result) + "\n\n" + render_records_table(fig14_result.records)
     save_result(results_dir, "fig14", text)
+    cases = [
+        {
+            "name": f"{algorithm}/{program_name}",
+            "seconds": record.seconds,
+            "end_states": record.end_states,
+            "histories": record.histories,
+            "timed_out": record.timed_out,
+        }
+        for algorithm, per_program in fig14_result.records.items()
+        for program_name, record in per_program.items()
+    ]
+    save_bench_json(
+        results_dir,
+        "fig14",
+        cases,
+        extra={"sessions": SESSIONS, "txns": TXNS, "programs_per_app": PROGRAMS_PER_APP},
+    )
     print(text)
 
 

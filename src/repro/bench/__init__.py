@@ -1,5 +1,14 @@
 """Benchmark harness reproducing every figure and table of the evaluation."""
 
+from .diff import (
+    BenchDiff,
+    BenchFormatError,
+    CaseDiff,
+    diff_bench,
+    diff_paths,
+    load_bench,
+    render_diff,
+)
 from .experiments import (
     FIG14_ALGORITHMS,
     CactusData,
@@ -22,6 +31,13 @@ from .reporting import (
 )
 
 __all__ = [
+    "BenchDiff",
+    "BenchFormatError",
+    "CaseDiff",
+    "diff_bench",
+    "diff_paths",
+    "load_bench",
+    "render_diff",
     "FIG14_ALGORITHMS",
     "CactusData",
     "Fig14Result",

@@ -1,0 +1,175 @@
+"""Compare two benchmark result files (``repro bench diff``).
+
+The benchmark suites under ``benchmarks/`` emit machine-readable
+``BENCH_<name>.json`` files (schema ``repro-bench-v1``, written by
+``benchmarks/conftest.py``): a list of named cases with wall-clock seconds,
+stamped with the commit hash and Python version that produced them.  This
+module diffs two such files — or two directories of them — case by case:
+
+* per-case **speedup** = baseline seconds / current seconds (> 1 is faster);
+* the **geometric mean** of the speedups (the headline number — robust to
+  cases of wildly different magnitude);
+* **regressions**: cases whose speedup falls below a threshold (default
+  0.8, i.e. more than 25% slower than baseline).
+
+CI runs this against the committed baseline after every benchmark job;
+the non-zero exit on regression is what makes the check automatable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .reporting import format_table
+
+#: Speedups below this are regressions (20% slower than baseline).
+DEFAULT_THRESHOLD = 0.8
+
+#: The JSON schema tag written by ``benchmarks/conftest.py``.
+SCHEMA = "repro-bench-v1"
+
+
+class BenchFormatError(ValueError):
+    """A result file is not a valid ``repro-bench-v1`` document."""
+
+
+@dataclass(frozen=True)
+class CaseDiff:
+    """One benchmark case present in both result files."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def speedup(self) -> float:
+        """baseline / current — greater than 1 means the case got faster."""
+        return self.baseline_s / self.current_s
+
+    def regressed(self, threshold: float = DEFAULT_THRESHOLD) -> bool:
+        return self.speedup < threshold
+
+
+@dataclass
+class BenchDiff:
+    """All comparable cases of one benchmark file pair."""
+
+    name: str
+    cases: List[CaseDiff]
+    #: Case names present in only one of the two files (never compared).
+    only_baseline: List[str] = field(default_factory=list)
+    only_current: List[str] = field(default_factory=list)
+    #: Cases skipped because one side recorded a timeout.
+    skipped_timeouts: List[str] = field(default_factory=list)
+
+    @property
+    def geomean_speedup(self) -> Optional[float]:
+        """Geometric mean of the per-case speedups (``None`` if no cases)."""
+        if not self.cases:
+            return None
+        return math.exp(sum(math.log(c.speedup) for c in self.cases) / len(self.cases))
+
+    def regressions(self, threshold: float = DEFAULT_THRESHOLD) -> List[CaseDiff]:
+        return [c for c in self.cases if c.regressed(threshold)]
+
+
+def load_bench(path: Path) -> Dict:
+    """Load and validate one ``BENCH_*.json`` document."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise BenchFormatError(f"{path}: {err}") from None
+    if not isinstance(doc, dict) or not isinstance(doc.get("cases"), list):
+        raise BenchFormatError(f"{path}: missing 'cases' list (not a {SCHEMA} file?)")
+    for case in doc["cases"]:
+        if not isinstance(case, dict) or "name" not in case or "seconds" not in case:
+            raise BenchFormatError(f"{path}: malformed case {case!r}")
+    return doc
+
+
+def diff_bench(baseline_path: Path, current_path: Path) -> BenchDiff:
+    """Case-by-case diff of two result files.
+
+    Cases are matched by name.  Pairs where either side timed out are
+    excluded from the speedup statistics (a timeout's recorded time bounds
+    nothing) and reported in :attr:`BenchDiff.skipped_timeouts`.
+    """
+    base_doc = load_bench(baseline_path)
+    curr_doc = load_bench(current_path)
+    base = {c["name"]: c for c in base_doc["cases"]}
+    curr = {c["name"]: c for c in curr_doc["cases"]}
+    diff = BenchDiff(name=Path(current_path).stem, cases=[])
+    diff.only_baseline = sorted(set(base) - set(curr))
+    diff.only_current = sorted(set(curr) - set(base))
+    for name in sorted(set(base) & set(curr)):
+        b, c = base[name], curr[name]
+        if b.get("timed_out") or c.get("timed_out"):
+            diff.skipped_timeouts.append(name)
+            continue
+        if not b["seconds"] or not c["seconds"]:
+            continue  # degenerate zero-time case; nothing to compare
+        diff.cases.append(CaseDiff(name, float(b["seconds"]), float(c["seconds"])))
+    return diff
+
+
+def matching_pairs(baseline_dir: Path, current_dir: Path) -> List[Tuple[Path, Path]]:
+    """``BENCH_*.json`` files present in both directories, by filename."""
+    baseline_dir, current_dir = Path(baseline_dir), Path(current_dir)
+    names = {p.name for p in baseline_dir.glob("BENCH_*.json")}
+    names &= {p.name for p in current_dir.glob("BENCH_*.json")}
+    return [(baseline_dir / n, current_dir / n) for n in sorted(names)]
+
+
+def diff_paths(baseline: Path, current: Path) -> List[BenchDiff]:
+    """Diff two files, or every same-named ``BENCH_*.json`` of two directories."""
+    baseline, current = Path(baseline), Path(current)
+    if baseline.is_dir() != current.is_dir():
+        raise BenchFormatError("baseline and current must both be files or both be directories")
+    if baseline.is_dir():
+        pairs = matching_pairs(baseline, current)
+        if not pairs:
+            raise BenchFormatError(
+                f"no BENCH_*.json present in both {baseline} and {current}"
+            )
+        return [diff_bench(b, c) for b, c in pairs]
+    return [diff_bench(baseline, current)]
+
+
+def render_diff(diffs: List[BenchDiff], threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human-readable report: one table per file plus a summary line each."""
+    blocks: List[str] = []
+    for diff in diffs:
+        rows = [
+            (
+                case.name,
+                f"{case.baseline_s:.4g}",
+                f"{case.current_s:.4g}",
+                f"{case.speedup:.2f}x" + ("  << REGRESSION" if case.regressed(threshold) else ""),
+            )
+            for case in diff.cases
+        ]
+        table = format_table(["case", "baseline (s)", "current (s)", "speedup"], rows)
+        geomean = diff.geomean_speedup
+        summary = [
+            f"{diff.name}: {len(diff.cases)} cases, "
+            + (f"geomean speedup {geomean:.2f}x" if geomean else "nothing comparable")
+        ]
+        if diff.skipped_timeouts:
+            summary.append(f"  skipped (timeout on either side): {len(diff.skipped_timeouts)}")
+        if diff.only_baseline or diff.only_current:
+            summary.append(
+                f"  unmatched cases: {len(diff.only_baseline)} baseline-only, "
+                f"{len(diff.only_current)} current-only"
+            )
+        regressions = diff.regressions(threshold)
+        if regressions:
+            summary.append(
+                f"  {len(regressions)} regression(s) below {threshold:.2f}x: "
+                + ", ".join(c.name for c in regressions)
+            )
+        blocks.append(table + "\n" + "\n".join(summary))
+    return "\n\n".join(blocks)

@@ -59,9 +59,23 @@ Algorithm = Callable[[Program, Optional[float], int], RunRecord]
 
 
 def _measure(fn: Callable[[], RunRecord]) -> RunRecord:
+    """Run ``fn`` twice: a plain pass for the reported time, then a
+    ``tracemalloc`` pass for the Python-heap peak.
+
+    The two quantities are measured in *separate* passes because
+    ``tracemalloc`` hooks every allocation and slows allocation-heavy
+    explorations by ~4x: timing under it measures the instrumentation, not
+    the algorithm (and skews cross-algorithm comparisons toward whatever
+    allocates least).  The runs are deterministic, so the second pass peaks
+    at the same heap profile the first one had.  A timed-out run skips the
+    memory pass — its partial-run peak would not be comparable anyway.
+    """
+    record = fn()
+    if record.timed_out:
+        return record
     tracemalloc.start()
     try:
-        record = fn()
+        fn()
         _, peak = tracemalloc.get_traced_memory()
     finally:
         tracemalloc.stop()

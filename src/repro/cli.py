@@ -16,6 +16,11 @@ Commands
     Run a small Fig. 14-style comparison of all seven algorithm
     configurations on the built-in application suite.
 
+``bench diff BASELINE CURRENT``
+    Compare two ``BENCH_*.json`` benchmark result files (or two result
+    directories, matched by filename): per-case speedup, geometric mean,
+    and a non-zero exit when any case regresses below the threshold.
+
 ``record [FILE | --app NAME]``
     Model-check a program (from a file, or a built-in application
     workload) and dump one of its histories as a portable JSONL trace
@@ -39,6 +44,7 @@ Examples::
     python -m repro check program.txn --isolation CC --show-histories
     python -m repro compare program.txn
     python -m repro bench --sessions 2 --txns 2 --programs 2
+    python -m repro bench diff benchmarks/baseline benchmarks/results
     python -m repro record program.txn --isolation CC --out run.trace.jsonl
     python -m repro replay run.trace.jsonl --online
     python -m repro difftest --config serializable --app tpcc --seeds 20
@@ -274,6 +280,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .bench.diff import BenchFormatError, diff_paths, render_diff
+
+    try:
+        diffs = diff_paths(args.baseline, args.current)
+    except BenchFormatError as err:
+        raise SystemExit(f"error: {err}")
+    print(render_diff(diffs, threshold=args.threshold))
+    regressed = sum(len(d.regressions(args.threshold)) for d in diffs)
+    if regressed:
+        print(f"\n{regressed} case(s) regressed below {args.threshold:.2f}x baseline speed.")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -365,6 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="exploration worker processes per run (default 1, 0 = one per CPU)",
     )
     bench.set_defaults(fn=_cmd_bench)
+    # Optional sub-subcommand: plain ``repro bench`` (above) keeps working.
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    bench_diff = bench_sub.add_parser(
+        "diff", help="compare two BENCH_*.json result files or directories"
+    )
+    bench_diff.add_argument("baseline", help="baseline BENCH_*.json file or directory")
+    bench_diff.add_argument("current", help="current BENCH_*.json file or directory")
+    bench_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="speedup below which a case counts as a regression (default 0.8)",
+    )
+    bench_diff.set_defaults(fn=_cmd_bench_diff)
     return parser
 
 

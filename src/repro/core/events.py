@@ -20,15 +20,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, NamedTuple, Optional
 
 #: Reserved session identifier of the ``init`` transaction.
 INIT_SESSION: str = "__init__"
 
 
-@dataclass(frozen=True, order=True)
-class TxnId:
-    """Identifier of a transaction log: session id + position in session."""
+class TxnId(NamedTuple):
+    """Identifier of a transaction log: session id + position in session.
+
+    A named tuple rather than a dataclass: identifiers key every map of the
+    exploration (``txns``, ``wr``, relation indices, canonical keys), so
+    their hashing and equality must run at C speed.  Ordering is the same
+    lexicographic (session, index) order the frozen dataclass had.
+    """
 
     session: str
     index: int
@@ -46,8 +51,7 @@ class TxnId:
 INIT_TXN: TxnId = TxnId(INIT_SESSION, 0)
 
 
-@dataclass(frozen=True, order=True)
-class EventId:
+class EventId(NamedTuple):
     """Identifier of an event: owning transaction + program-order position."""
 
     txn: TxnId

@@ -36,11 +36,15 @@ class TransactionLog:
     present, is maximal.
     """
 
-    __slots__ = ("tid", "events")
+    __slots__ = ("tid", "events", "_final", "_writes", "_descriptor")
 
     def __init__(self, tid: TxnId, events: Tuple[Event, ...]):
         self.tid = tid
         self.events = events
+        # Terminal event type, computed once: the completion-status
+        # properties below are the most-called functions of the whole
+        # exploration, so they must be single identity compares.
+        self._final = events[-1].type if events else None
 
     # -- construction -----------------------------------------------------
 
@@ -71,20 +75,20 @@ class TransactionLog:
 
     @property
     def is_committed(self) -> bool:
-        return self.last_event.type is EventType.COMMIT
+        return self._final is EventType.COMMIT
 
     @property
     def is_aborted(self) -> bool:
-        return self.last_event.type is EventType.ABORT
+        return self._final is EventType.ABORT
 
     @property
     def is_complete(self) -> bool:
         """Complete = carries a COMMIT or an ABORT event (paper §2.2.1)."""
-        return self.is_committed or self.is_aborted
+        return self._final is EventType.COMMIT or self._final is EventType.ABORT
 
     @property
     def is_pending(self) -> bool:
-        return not self.is_complete
+        return not (self._final is EventType.COMMIT or self._final is EventType.ABORT)
 
     # -- reads and writes ---------------------------------------------------
 
@@ -97,13 +101,22 @@ class TransactionLog:
 
         Only the po-last write to each variable is visible to other
         transactions; aborted transactions expose no writes at all.
+
+        Logs are immutable, so the map is computed once and cached — the
+        axiom quantifier expansion and ``ValidWrites`` ask for it per
+        variable per node, which made the per-call scan a hot path.  The
+        returned dict is shared: callers must not mutate it.
         """
-        if self.is_aborted:
-            return {}
+        try:
+            return self._writes
+        except AttributeError:
+            pass
         visible: Dict[str, Event] = {}
-        for event in self.events:
-            if event.type is EventType.WRITE:
-                visible[event.var] = event
+        if not self.is_aborted:
+            for event in self.events:
+                if event.type is EventType.WRITE:
+                    visible[event.var] = event
+        self._writes = visible
         return visible
 
     def writes_var(self, var: str) -> bool:
@@ -123,11 +136,22 @@ class TransactionLog:
     # -- misc ----------------------------------------------------------------
 
     def descriptor(self) -> Tuple:
-        """Hashable structural summary used for canonical history keys."""
-        return (
+        """Hashable structural summary used for canonical history keys.
+
+        Cached: logs are immutable and shared between a history and its
+        extensions, so end-state deduplication re-uses the tuples of every
+        log that did not change along the branch.
+        """
+        try:
+            return self._descriptor
+        except AttributeError:
+            pass
+        desc = (
             self.tid,
             tuple((e.type.value, e.var, e.value, e.local) for e in self.events),
         )
+        self._descriptor = desc
+        return desc
 
     def __len__(self) -> int:
         return len(self.events)
@@ -184,11 +208,18 @@ class History:
         return cls({}, {INIT_TXN: log}, {})
 
     def _evolve(self, sessions=None, txns=None, wr=None) -> "History":
-        return History(
-            self.sessions if sessions is None else sessions,
-            self.txns if txns is None else txns,
-            self.wr if wr is None else wr,
-        )
+        """Trusted persistent update: maps the caller did not change are
+        *shared* with the child (no method ever mutates them in place, so
+        sharing is safe), and already-copied maps are adopted without the
+        defensive re-copy of ``__init__``.  This keeps per-event history
+        extension — the allocation hot spot of the exploration — down to
+        the one map that actually changed."""
+        child = object.__new__(History)
+        child.sessions = self.sessions if sessions is None else sessions
+        child.txns = self.txns if txns is None else txns
+        child.wr = self.wr if wr is None else wr
+        child._cache = {}
+        return child
 
     def begin_transaction(self, session: str) -> Tuple["History", TxnId]:
         """``h ⊕_j (e, begin)``: append a fresh transaction log to session ``j``."""
@@ -200,7 +231,9 @@ class History:
         sessions[session] = order + (tid,)
         txns = dict(self.txns)
         txns[tid] = TransactionLog.begin(tid)
-        return self._evolve(sessions=sessions, txns=txns), tid
+        child = self._evolve(sessions=sessions, txns=txns)
+        self._derive_status_lists(child, txns[tid])
+        return child, tid
 
     def append_event(self, session: str, event: Event) -> "History":
         """``h ⊕_j e``: add ``event`` to the last transaction of session ``j``."""
@@ -210,7 +243,9 @@ class History:
         tid = order[-1]
         txns = dict(self.txns)
         txns[tid] = txns[tid].appended(event)
-        return self._evolve(txns=txns)
+        child = self._evolve(txns=txns)
+        self._derive_status_lists(child, txns[tid])
+        return child
 
     def add_wr(self, writer: TxnId, read: EventId) -> "History":
         """``h ⊕ wr(t, e)``: set/replace the wr source of read event ``read``."""
@@ -299,7 +334,11 @@ class History:
             yield from log.events
 
     def event_count(self) -> int:
-        return sum(len(log) for log in self.txns.values())
+        count = self._cache.get("event_count")
+        if count is None:
+            count = sum(len(log) for log in self.txns.values())
+            self._cache["event_count"] = count
+        return count
 
     def transaction_ids(self) -> Set[TxnId]:
         return set(self.txns)
@@ -310,11 +349,45 @@ class History:
         return self.txns[order[-1]] if order else None
 
     def pending_transactions(self) -> List[TransactionLog]:
-        return [log for log in self.txns.values() if log.is_pending]
+        logs = self._cache.get("pending_txns")
+        if logs is None:
+            logs = [log for log in self.txns.values() if log.is_pending]
+            self._cache["pending_txns"] = logs
+        return logs
+
+    def _derive_status_lists(self, child: "History", changed: TransactionLog) -> None:
+        """Diff the pending/committed lists onto a single-log extension.
+
+        Only the log ``changed`` differs between ``self`` and ``child``, so
+        the child's status lists are a constant-size edit of the parent's
+        (computed only if the parent has them — laziness mirrors the other
+        derived caches).  The lists are shared when unchanged; callers
+        treat them as read-only.
+        """
+        tid = changed.tid
+        pending = self._cache.get("pending_txns")
+        if pending is not None:
+            if changed.is_pending:
+                if any(log.tid == tid for log in pending):
+                    derived = [changed if log.tid == tid else log for log in pending]
+                else:
+                    derived = pending + [changed]
+            else:
+                derived = [log for log in pending if log.tid != tid]
+            child._cache["pending_txns"] = derived
+        committed = self._cache.get("committed_txns")
+        if committed is not None:
+            child._cache["committed_txns"] = (
+                committed + [changed] if changed.is_committed else committed
+            )
 
     def committed_transactions(self) -> List[TransactionLog]:
         """``commTrans(h)``: committed transaction logs (incl. ``init``)."""
-        return [log for log in self.txns.values() if log.is_committed]
+        logs = self._cache.get("committed_txns")
+        if logs is None:
+            logs = [log for log in self.txns.values() if log.is_committed]
+            self._cache["committed_txns"] = logs
+        return logs
 
     def reads(self) -> List[Event]:
         """``reads(h)``: all external read events."""
@@ -411,6 +484,33 @@ class History:
             matrix = RelationMatrix(self.txns, edges).freeze()
             self._cache["causal_matrix"] = matrix
         return matrix
+
+    def cached_causal_matrix(self) -> Optional[RelationMatrix]:
+        """The cached ``so ∪ wr`` closure, or ``None`` if not built yet.
+
+        Lets extension derivation stay lazy: a child history's matrix is
+        diffed from the parent's only when the parent already paid for one.
+        """
+        return self._cache.get("causal_matrix")  # type: ignore[return-value]
+
+    def saturation_states(self) -> Dict[Tuple, object]:
+        """Per-axiom-set incremental saturation states cached on this history.
+
+        Maps an axiom tuple (the keys of
+        :data:`~repro.isolation.axioms.AXIOMS_BY_LEVEL`) to the
+        :class:`~repro.isolation.saturation.IncrementalSaturation` carrying
+        ``so ∪ wr ∪ forced`` for this history.  States cached here are
+        *shared* between a history and any children derived from it by the
+        sibling-shared saturation of the DPOR hot path, so they must never
+        be mutated — derivations fork first.  Internal plumbing between
+        :mod:`repro.semantics.scheduler` and
+        :mod:`repro.isolation.saturation`.
+        """
+        states = self._cache.get("sat_states")
+        if states is None:
+            states = {}
+            self._cache["sat_states"] = states
+        return states
 
     def adopt_causal_matrix(self, matrix: RelationMatrix) -> None:
         """Seed the causal-closure cache with an incrementally-derived matrix.

@@ -43,12 +43,15 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.bitrel import RelationMatrix
 from ..core.canonical import HistorySet
 from ..core.events import EventId
 from ..core.history import History
 from ..core.ordered_history import OrderedHistory
 from ..isolation.base import IsolationLevel
+from ..isolation.saturation import IncrementalSaturation
 from ..lang.program import Program
+from ..semantics import executor
 from ..semantics.scheduler import apply_action, next_action, valid_writes
 from .optimality import optimality
 from .stats import ExplorationStats
@@ -120,16 +123,41 @@ class StepEngine:
         self.restrict_swaps = restrict_swaps
 
     def initial_item(self) -> WorkItem:
-        """The root of the exploration tree."""
-        return (_EXPLORE, OrderedHistory.initial(self.program.initial_history()))
+        """The root of the exploration tree.
+
+        The root history's hot-path caches are warmed here — its ``so ∪ wr``
+        closure and the saturation state of each configured level — so that
+        every node of the tree *derives* its caches from its parent's
+        (sibling-shared saturation) instead of the first consistency check
+        per node rebuilding them from scratch.
+        """
+        root = self.program.initial_history()
+        root.causal_matrix()
+        self.level.satisfies(root)
+        if self.valid_level is not None:
+            self.valid_level.satisfies(root)
+        return (_EXPLORE, OrderedHistory.initial(root))
 
     def step(
         self, oh: OrderedHistory, kind: int, stats: ExplorationStats
     ) -> Tuple[List[WorkItem], List[History]]:
-        """One ``explore``/``exploreSwaps`` call → (continuations, outputs)."""
+        """One ``explore``/``exploreSwaps`` call → (continuations, outputs).
+
+        The per-node cost counters (saturation premise evaluations, closure
+        word operations, executor instructions) are accumulated as deltas
+        of the process-wide counters around the step body.
+        """
+        ticks0 = IncrementalSaturation.premise_evals
+        words0 = RelationMatrix.word_ops
+        instrs0 = executor.INSTRUCTIONS_EXECUTED
         if kind == _EXPLORE:
-            return self._explore(oh, stats)
-        return self._explore_swaps(oh, stats), []
+            result = self._explore(oh, stats)
+        else:
+            result = self._explore_swaps(oh, stats), []
+        stats.saturation_ticks += IncrementalSaturation.premise_evals - ticks0
+        stats.closure_word_ops += RelationMatrix.word_ops - words0
+        stats.executor_instructions += executor.INSTRUCTIONS_EXECUTED - instrs0
+        return result
 
     def drain(
         self,

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..core.events import Event, EventId, EventType, TxnId
+from ..core.events import EventId, EventType, TxnId
 from ..core.history import History
 from ..core.ordered_history import OrderedHistory
 from ..isolation.base import IsolationLevel
 from ..lang.program import Program
+from ..semantics.scheduler import NextAction, extend_history
 from .swaps import doomed_events, swap
 
 
@@ -97,6 +98,10 @@ def read_latest(
         return True
     pruned = history.remove_events(doomed_events(oh, read, target, strict=False))
     pruned_matrix = pruned.causal_matrix()
+    # Event removal is the non-monotone step saturation cannot diff across,
+    # so pruned starts cache-cold: warm its consistency state once here and
+    # every candidate below derives from it instead of rebuilding.
+    level.satisfies(pruned)
     reader = read.txn
     var = history.event(read).var
 
@@ -107,13 +112,10 @@ def read_latest(
             continue
         if not pruned_matrix.reaches_reflexive(log.tid, reader):
             continue
+        # Same derivation as ValidWrites: extend_history diffs the
+        # candidate's closure (and saturation states) from pruned's
+        # caches, so the consistency check never rebuilds the relation.
         candidate = _reappend_read(pruned, read, var, log.tid)
-        # Same derivation as ValidWrites: the candidate is pruned plus one
-        # wr edge, so it adopts pruned's closure + add_edge, no rebuild.
-        derived = pruned_matrix.copy()
-        if log.tid != reader:
-            derived.add_edge(log.tid, reader)
-        candidate.adopt_causal_matrix(derived)
         if not level.satisfies(candidate):
             continue
         pos = oh.txn_position(log.tid)
@@ -128,9 +130,7 @@ def _reappend_read(pruned: History, read: EventId, var: str, writer: TxnId) -> H
     log = pruned.txns[reader]
     if len(log.events) != read.pos:
         raise AssertionError(f"pruned log of {reader!r} does not end right before {read!r}")
-    value = pruned.visible_write_value(writer, var)
-    event = Event(read, EventType.READ, var, value)
-    return pruned.append_event(reader.session, event).add_wr(writer, read)
+    return extend_history(pruned, NextAction(EventType.READ, reader, var), writer=writer)
 
 
 def optimality(

@@ -167,6 +167,13 @@ class ParallelExplorer:
     split_threshold:
         Local stack size beyond which a worker sheds its shallowest half
         back to the coordinator.
+    min_fork_steps:
+        Steps the coordinator explores itself before committing to the
+        pool (default: ``split_threshold``).  Small programs' whole trees
+        die out within the probe, so they finish serially instead of
+        paying pool setup plus a wire-encoded ``History`` per near-leaf
+        seed — the measured fix for tiny-seed fan-out overhead.  ``0``
+        restores eager fan-out.
     """
 
     def __init__(
@@ -184,6 +191,7 @@ class ParallelExplorer:
         seed_factor: int = 4,
         task_ticks: int = 2048,
         split_threshold: int = 128,
+        min_fork_steps: Optional[int] = None,
     ):
         validate_levels(level, valid_level, allow_any_level)
         self.program = program
@@ -198,6 +206,7 @@ class ParallelExplorer:
         self.seed_factor = seed_factor
         self.task_ticks = task_ticks
         self.split_threshold = split_threshold
+        self.min_fork_steps = split_threshold if min_fork_steps is None else min_fork_steps
         self.engine = StepEngine(
             program,
             level,
@@ -247,15 +256,27 @@ class ParallelExplorer:
     def _seed(
         self, stats: ExplorationStats, deadline: Optional[float]
     ) -> Deque[WorkItem]:
-        """Breadth-first prefix expansion until the frontier can feed the pool."""
+        """Breadth-first prefix expansion until the frontier can feed the pool.
+
+        Doubles as the tiny-tree probe: with a pool configured, expansion
+        continues for at least :attr:`min_fork_steps` steps even once the
+        frontier is wide enough.  An exploration whose tree dies out inside
+        the probe was measurably too small to amortise pool setup and
+        per-seed ``History`` re-encoding; it completes right here and
+        :meth:`run` never fans out.  Trees that outlive the probe have
+        proven at least ``min_fork_steps`` of work and get the pool.
+        """
         target = max(self.workers * self.seed_factor, 1)
+        probe = self.min_fork_steps if self.workers > 1 and _forkable() else 0
+        steps = 0
         frontier: Deque[WorkItem] = deque([self.engine.initial_item()])
         live_events = frontier[0][1].history.event_count()
-        while frontier and len(frontier) < target:
+        while frontier and (len(frontier) < target or steps < probe):
             if deadline is not None and time.monotonic() > deadline:
                 stats.timed_out = True
                 frontier.clear()
                 break
+            steps += 1
             kind, oh = frontier.popleft()
             live_events -= oh.history.event_count()
             pushed, outputs = self.engine.step(oh, kind, stats)

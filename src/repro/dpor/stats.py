@@ -37,6 +37,15 @@ class ExplorationStats:
     peak_stack: int = 0
     #: Peak number of events across all histories live on the stack.
     peak_live_events: int = 0
+    #: Axiom premise evaluations performed by the saturation checkers
+    #: (:class:`~repro.isolation.saturation.IncrementalSaturation` delta).
+    saturation_ticks: int = 0
+    #: Closure row-word updates in the relation engine
+    #: (:attr:`~repro.core.bitrel.RelationMatrix.word_ops` delta).
+    closure_word_ops: int = 0
+    #: Compiled-program instructions dispatched by the executor
+    #: (:data:`repro.semantics.executor.INSTRUCTIONS_EXECUTED` delta).
+    executor_instructions: int = 0
     #: Wall-clock seconds for the whole run.
     seconds: float = 0.0
     #: Whether the time budget expired before completion.
@@ -63,6 +72,9 @@ class ExplorationStats:
             consistency_checks=self.consistency_checks + other.consistency_checks,
             peak_stack=max(self.peak_stack, other.peak_stack),
             peak_live_events=max(self.peak_live_events, other.peak_live_events),
+            saturation_ticks=self.saturation_ticks + other.saturation_ticks,
+            closure_word_ops=self.closure_word_ops + other.closure_word_ops,
+            executor_instructions=self.executor_instructions + other.executor_instructions,
             seconds=self.seconds + other.seconds,
             timed_out=self.timed_out or other.timed_out,
         )

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import List, Optional, Iterator, Set, Tuple
 
 from ..core.bitrel import RelationMatrix
-from ..core.events import INIT_TXN, Event, TxnId
+from ..core.events import INIT_TXN, Event, EventType, TxnId
 from ..core.history import History
 from .axioms import Axiom, axiom_instances
 
@@ -52,6 +52,7 @@ def iter_forced_edges(history: History, axioms: Tuple[Axiom, ...]) -> Iterator[T
     _check_co_free(axioms)
     for t1, t2, read in axiom_instances(history):
         for axiom in axioms:
+            IncrementalSaturation.premise_evals += 1
             if axiom.premise(history, {}, t2, read):
                 yield t2, t1
                 break
@@ -63,16 +64,23 @@ def forced_edges(history: History, axioms: Tuple[Axiom, ...]) -> Set[Tuple[TxnId
 
 
 def satisfies_by_saturation(history: History, axioms: Tuple[Axiom, ...]) -> bool:
-    """Polynomial ``h ⊨ I`` for levels whose axioms are all co-free."""
-    base = history.causal_matrix()
-    if not base.is_acyclic():
-        return False
-    work = base.copy()
-    for src, dst in iter_forced_edges(history, axioms):
-        if work.would_close_cycle(src, dst):
+    """Polynomial ``h ⊨ I`` for levels whose axioms are all co-free.
+
+    The verdict is served from the history's cached
+    :class:`IncrementalSaturation` state when one exists — the DPOR hot
+    path derives each child node's state from its parent's
+    (:func:`derive_extension_states`), making this O(1) per node.  On a
+    cache miss (roots, abort rebuilds, standalone histories) the state is
+    batch-built once and cached for any future extensions.
+    """
+    states = history.saturation_states()
+    state = states.get(axioms)
+    if state is None:
+        if not history.causal_matrix().is_acyclic():
             return False
-        work.add_edge(src, dst)
-    return True
+        state = IncrementalSaturation.from_history(history, axioms)
+        states[axioms] = state
+    return state.consistent
 
 
 class IncrementalSaturation:
@@ -98,6 +106,12 @@ class IncrementalSaturation:
     """
 
     __slots__ = ("axioms", "matrix", "_pending", "_drop_unfired")
+
+    #: Axiom premise evaluations since interpreter start (batch and
+    #: incremental paths both count).  The per-node cost profile of the
+    #: exploration reports deltas of this counter — it is the "saturation
+    #: ticks" axis of ``scripts/profile_explore.py``.
+    premise_evals: int = 0
 
     def __init__(self, axioms: Tuple[Axiom, ...], matrix: Optional[RelationMatrix] = None):
         _check_co_free(axioms)
@@ -151,17 +165,41 @@ class IncrementalSaturation:
         if not self.matrix.is_acyclic():
             return
         still: List[Tuple[TxnId, TxnId, Event]] = []
-        for t1, t2, read in self._pending:
+        pending = self._pending
+        for idx, (t1, t2, read) in enumerate(pending):
             fired = False
             for axiom in self.axioms:
+                IncrementalSaturation.premise_evals += 1
                 if axiom.premise(history, {}, t2, read):
                     fired = True
                     break
             if fired:
                 self.matrix.add_edge(t2, t1)
+                if not self.matrix.is_acyclic():
+                    # First contradiction: the verdict is settled for this
+                    # history and every append-extension; keep the
+                    # unevaluated tail pending (an abort rebuild discards
+                    # this state anyway) and stop scanning.
+                    still.extend(pending[idx + 1 :])
+                    break
             elif not self._drop_unfired:
                 still.append((t1, t2, read))
         self._pending = still
+
+    def fork(self) -> "IncrementalSaturation":
+        """An independent state to extend for a child history.
+
+        O(n): the matrix rows are copied (word-packed memcpy for ≤ 64
+        transactions) and the pending-instance list is copied shallowly
+        (instances are immutable tuples).  The original is untouched, so a
+        parent node's state can be forked once per child branch.
+        """
+        dup = object.__new__(IncrementalSaturation)
+        dup.axioms = self.axioms
+        dup.matrix = self.matrix.copy()
+        dup._pending = list(self._pending)
+        dup._drop_unfired = self._drop_unfired
+        return dup
 
     @property
     def pending_instances(self) -> int:
@@ -172,3 +210,113 @@ class IncrementalSaturation:
     def consistent(self) -> bool:
         """O(1) verdict: ``so ∪ wr ∪ forced`` acyclic on the current prefix."""
         return self.matrix.is_acyclic()
+
+
+def derive_extension_states(
+    parent: History,
+    child: History,
+    kind: "EventType",
+    tid: TxnId,
+    event: Optional[Event] = None,
+    writer: Optional[TxnId] = None,
+) -> None:
+    """Derive ``child``'s saturation states from ``parent``'s by diffing.
+
+    ``child`` must be ``parent`` extended by exactly one step of kind
+    ``kind`` on transaction ``tid`` (``event`` is the appended event for
+    non-BEGIN kinds; ``writer`` the wr-source for an external read).  For
+    every axiom set with a state cached on the parent, the child gets a
+    state reflecting just the delta — shared outright when the step cannot
+    change the verdict, forked and minimally advanced otherwise — instead
+    of re-deriving every forced edge from scratch per node.
+
+    The one step this cannot express is an **abort of a transaction with
+    writes**: retired instances and already-forced edges would have to be
+    retracted.  In that case nothing is derived — the child's cache stays
+    empty and :func:`satisfies_by_saturation` falls back to the
+    :meth:`IncrementalSaturation.from_history` rebuild (the correctness
+    escape hatch).
+    """
+    states = parent.saturation_states()
+    if not states:
+        return
+    if kind is EventType.ABORT and any(
+        e.type is EventType.WRITE for e in parent.txns[tid].events
+    ):
+        return
+    child_states = child.saturation_states()
+    for axioms, state in states.items():
+        child_states[axioms] = _derive_state(state, parent, child, kind, tid, event, writer)
+
+
+def _derive_state(
+    state: IncrementalSaturation,
+    parent: History,
+    child: History,
+    kind: "EventType",
+    tid: TxnId,
+    event: Optional[Event],
+    writer: Optional[TxnId],
+) -> IncrementalSaturation:
+    """One derived state; shares ``state`` itself whenever the verdict and
+    instance set are provably unchanged by the step."""
+    if not state.consistent:
+        # Monotone: append-extensions never un-close a cycle (aborts of
+        # writers take the rebuild path above), so the inconsistent state
+        # is shared verbatim with the whole subtree.  Its matrix may lag
+        # the node universe; only the O(1) verdict is ever read.
+        return state
+    if kind is EventType.BEGIN:
+        # New sink node: no reads, no writes — no new instances, and no
+        # pending premise can fire through a fresh sink's so edge.
+        forked = state.fork()
+        forked.add_transaction(tid)
+        order = child.sessions[tid.session]
+        prev = order[-2] if len(order) > 1 else INIT_TXN
+        forked.add_base_edge(prev, tid)
+        return forked
+    if kind is EventType.READ and writer is not None:
+        # New wr edge + new instances quantified over the read; the edge
+        # can also enable pending so∪wr (RA) / causal (CC) premises, so a
+        # full pending re-scan runs against the child.
+        forked = state.fork()
+        forked.add_base_edge(writer, tid)
+        assert event is not None
+        for t2 in child.writers_of(event.var):
+            if t2 != writer:
+                forked.add_instance(writer, t2, event)
+        forked.advance(child)
+        return forked
+    if kind is EventType.WRITE:
+        assert event is not None
+        if event.var in parent.txns[tid].writes():
+            # Overwrite: writers_of and wr are unchanged — no new
+            # instances, no new edges, premises see the same relations.
+            return state
+        # First write of ``var`` by ``tid``: exactly the instances pairing
+        # the new writer with every existing read of ``var`` are new.  A
+        # write adds no so/wr edge, so pending instances cannot newly
+        # fire — only the fresh instances need evaluating.
+        forked = None
+        for read_eid, t1 in child.wr.items():
+            if t1 == tid or child.event(read_eid).var != event.var:
+                continue
+            read_ev = child.event(read_eid)
+            fired = False
+            for axiom in state.axioms:
+                IncrementalSaturation.premise_evals += 1
+                if axiom.premise(child, {}, tid, read_ev):
+                    fired = True
+                    break
+            if fired:
+                if forked is None:
+                    forked = state.fork()
+                forked.matrix.add_edge(tid, t1)
+            elif not state._drop_unfired:
+                if forked is None:
+                    forked = state.fork()
+                forked.add_instance(t1, tid, read_ev)
+        return state if forked is None else forked
+    # COMMIT, local READ, write-free ABORT: writes() visibility, wr and so
+    # are all unchanged — the state transfers verbatim.
+    return state

@@ -90,8 +90,9 @@ def enumerate_histories(
                     on_output(history)
                 return
             for tid in startable:
-                extended, _ = history.begin_transaction(tid.session)
-                rec(extended)
+                # Through extend_history so the child derives the parent's
+                # cached closure/saturation states (same hot path as DPOR).
+                rec(extend_history(history, NextAction(EventType.BEGIN, tid)))
             return
 
         action = next_action(program, history)
@@ -114,8 +115,11 @@ def enumerate_histories(
         rec(extended)
 
     start = time.monotonic()
+    root = program.initial_history()
+    root.causal_matrix()
+    level.satisfies(root)  # warm the root caches; children derive from them
     try:
-        rec(program.initial_history())
+        rec(root)
     except ExplorationTimeout:
         result.timed_out = True
     result.seconds = time.monotonic() - start

@@ -10,18 +10,34 @@ is equivalent because the language is deterministic given read values.
 ``next_operation(txn, log)`` returns the next :class:`ReadOp`/:class:`WriteOp`
 or the terminal :class:`CommitOp`/:class:`AbortOp`, plus the local-variable
 valuation at that point.
+
+Replay is the hottest loop of the exploration (one full replay per
+``Next`` query, several per explored node), so transaction bodies are
+**compiled once** into a flat tuple of instruction tuples — expressions
+become argument-capturing closures, ``if`` blocks become conditional jumps
+— and replay runs a plain dispatch loop over the compiled code.  The
+compiled form is cached on the :class:`~repro.lang.program.Transaction`
+object itself, so every history sharing a program compiles each body
+exactly once per process.  The generator interpreter :func:`_run` over the
+raw AST is kept: the differential-testing engine harness replays through it,
+and it documents the reference semantics the compiler must match.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Hashable, Optional, Tuple, Union
+from typing import Callable, Generator, Hashable, List, Optional, Tuple, Union
 
-from ..core.events import Event, EventType
+from ..core.events import EventType
 from ..core.history import TransactionLog
-from ..lang.ast import Abort, Assign, Body, If, Instr, Read, Write, resolve_var
-from ..lang.expr import Env
+from ..lang.ast import Abort, Assign, Body, If, Read, Write, resolve_var
+from ..lang.expr import BinOp, Const, Env, Expr, Fn, Local, UnOp
 from ..lang.program import Transaction
+
+#: Compiled instructions dispatched since interpreter start (replay loops of
+#: :func:`next_operation` and :func:`final_env`).  The per-node cost profile
+#: of the exploration reports deltas of this counter.
+INSTRUCTIONS_EXECUTED = 0
 
 
 @dataclass(frozen=True)
@@ -87,6 +103,110 @@ class ReplayMismatch(AssertionError):
     """
 
 
+# -- the body compiler ---------------------------------------------------------
+
+#: Opcodes of the compiled form.  A compiled body is a tuple of
+#: ``(opcode, a, b)`` triples; jump targets are absolute indices.
+_OP_ASSIGN, _OP_READ, _OP_WRITE, _OP_JUMP, _OP_JUMP_IF_FALSE, _OP_ABORT = range(6)
+
+#: An evaluated operand: a closure over the (compiled) expression, applied
+#: to the locals valuation.
+_Thunk = Callable[[Env], Hashable]
+
+
+def _compile_expr(expr: Expr) -> _Thunk:
+    """Compile an expression tree into a nest of argument-capturing closures.
+
+    Each node's children and function are captured in cell variables, so
+    evaluation performs no attribute lookups — only calls.  Unknown
+    :class:`Expr` subclasses fall back to their own ``evaluate`` method.
+    """
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda env: value
+    if isinstance(expr, Local):
+        return expr.evaluate  # bound method; already a minimal closure
+    if isinstance(expr, BinOp):
+        fn = expr.fn
+        left = _compile_expr(expr.left)
+        right = _compile_expr(expr.right)
+        return lambda env: fn(left(env), right(env))
+    if isinstance(expr, UnOp):
+        fn = expr.fn
+        operand = _compile_expr(expr.operand)
+        return lambda env: fn(operand(env))
+    if isinstance(expr, Fn):
+        fn = expr.fn
+        args = tuple(_compile_expr(a) for a in expr.args)
+        return lambda env: fn(*(thunk(env) for thunk in args))
+    return expr.evaluate
+
+
+def _compile_var(ref) -> Union[str, _Thunk]:
+    """A literal name stays a ``str``; a computed reference compiles to a
+    thunk that validates the result exactly like :func:`resolve_var`."""
+    if isinstance(ref, str):
+        return ref
+    thunk = _compile_expr(ref)
+
+    def resolver(env: Env) -> str:
+        name = thunk(env)
+        if not isinstance(name, str):
+            raise TypeError(f"variable reference {ref!r} evaluated to non-string {name!r}")
+        return name
+
+    return resolver
+
+
+def _compile_body(body: Body, code: List[Tuple]) -> None:
+    for instr in body:
+        if isinstance(instr, Assign):
+            code.append((_OP_ASSIGN, instr.target, _compile_expr(instr.expr)))
+        elif isinstance(instr, Read):
+            code.append((_OP_READ, instr.target, _compile_var(instr.var)))
+        elif isinstance(instr, Write):
+            code.append((_OP_WRITE, _compile_var(instr.var), _compile_expr(instr.expr)))
+        elif isinstance(instr, If):
+            cond = _compile_expr(instr.cond)
+            branch_at = len(code)
+            code.append(None)  # patched below
+            _compile_body(instr.then, code)
+            if instr.orelse:
+                jump_at = len(code)
+                code.append(None)
+                code[branch_at] = (_OP_JUMP_IF_FALSE, cond, len(code))
+                _compile_body(instr.orelse, code)
+                code[jump_at] = (_OP_JUMP, len(code), None)
+            else:
+                code[branch_at] = (_OP_JUMP_IF_FALSE, cond, len(code))
+        elif isinstance(instr, Abort):
+            code.append((_OP_ABORT, None, None))
+        else:  # pragma: no cover - unreachable with the public DSL
+            raise TypeError(f"unknown instruction {instr!r}")
+
+
+def compiled_code(txn: Transaction) -> Tuple[Tuple, ...]:
+    """The compiled form of ``txn.body``, cached on the transaction object.
+
+    :class:`~repro.lang.program.Transaction` is a frozen dataclass, so the
+    cache is planted with ``object.__setattr__``; tying it to the object
+    (rather than an external table) makes staleness impossible — builders
+    produce a fresh ``Transaction`` whenever a body changes.
+    """
+    try:
+        return txn._compiled  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    code: List[Tuple] = []
+    _compile_body(txn.body, code)
+    compiled = tuple(code)
+    object.__setattr__(txn, "_compiled", compiled)
+    return compiled
+
+
+# -- replay over compiled code -------------------------------------------------
+
+
 def next_operation(txn: Transaction, log: TransactionLog) -> Tuple[Operation, Env]:
     """The next operation of ``txn`` after the events recorded in ``log``.
 
@@ -96,48 +216,102 @@ def next_operation(txn: Transaction, log: TransactionLog) -> Tuple[Operation, En
     """
     if log.is_complete:
         raise ValueError(f"transaction {log.tid!r} is complete")
+    global INSTRUCTIONS_EXECUTED
+    code = compiled_code(txn)
     env: Env = {}
-    gen = _run(txn.body, env)
     recorded = [e for e in log.events if e.type in (EventType.READ, EventType.WRITE)]
-
-    def step(send_value: Optional[Hashable], first: bool) -> Optional[Operation]:
-        try:
-            return next(gen) if first else gen.send(send_value)
-        except StopIteration as stop:
-            return AbortOp() if stop.value else None
-
-    op = step(None, first=True)
-    for event in recorded:
-        if op is None or isinstance(op, AbortOp):
-            raise ReplayMismatch(f"{log.tid!r}: body ended before recorded {event!r}")
-        if event.type is EventType.READ:
-            if not isinstance(op, ReadOp) or op.var != event.var:
-                raise ReplayMismatch(f"{log.tid!r}: expected {op!r}, recorded {event!r}")
-            op = step(event.value, first=False)
-        else:
-            if not isinstance(op, WriteOp) or op.var != event.var or op.value != event.value:
-                raise ReplayMismatch(f"{log.tid!r}: expected {op!r}, recorded {event!r}")
-            op = step(None, first=False)
-    if op is None:
-        return CommitOp(), env
-    return op, env
+    size = len(code)
+    replay_to = len(recorded)
+    pos = 0
+    pc = 0
+    steps = 0
+    while pc < size:
+        op, a, b = code[pc]
+        pc += 1
+        steps += 1
+        if op == _OP_ASSIGN:
+            env[a] = b(env)
+        elif op == _OP_READ:
+            var = b if type(b) is str else b(env)
+            if pos < replay_to:
+                event = recorded[pos]
+                if event.type is not EventType.READ or var != event.var:
+                    raise ReplayMismatch(
+                        f"{log.tid!r}: expected {ReadOp(var)!r}, recorded {event!r}"
+                    )
+                env[a] = event.value
+                pos += 1
+            else:
+                INSTRUCTIONS_EXECUTED += steps
+                return ReadOp(var), env
+        elif op == _OP_WRITE:
+            var = a if type(a) is str else a(env)
+            value = b(env)
+            if pos < replay_to:
+                event = recorded[pos]
+                if event.type is not EventType.WRITE or var != event.var or value != event.value:
+                    raise ReplayMismatch(
+                        f"{log.tid!r}: expected {WriteOp(var, value)!r}, recorded {event!r}"
+                    )
+                pos += 1
+            else:
+                INSTRUCTIONS_EXECUTED += steps
+                return WriteOp(var, value), env
+        elif op == _OP_JUMP_IF_FALSE:
+            if not a(env):
+                pc = b
+        elif op == _OP_JUMP:
+            pc = a
+        else:  # _OP_ABORT
+            if pos < replay_to:
+                raise ReplayMismatch(f"{log.tid!r}: body ended before recorded {recorded[pos]!r}")
+            INSTRUCTIONS_EXECUTED += steps
+            return AbortOp(), env
+    if pos < replay_to:
+        raise ReplayMismatch(f"{log.tid!r}: body ended before recorded {recorded[pos]!r}")
+    INSTRUCTIONS_EXECUTED += steps
+    return CommitOp(), env
 
 
 def final_env(txn: Transaction, log: TransactionLog) -> Env:
     """Local-variable valuation of a *complete* transaction log.
 
-    Used for user assertions over final states.
+    Used for user assertions over final states.  Replay is positional and
+    non-validating (complete logs were validated when built): reads take
+    the recorded value, writes are skipped — their expressions cannot bind
+    locals — and an abort instruction or an exhausted record ends replay.
     """
+    global INSTRUCTIONS_EXECUTED
+    code = compiled_code(txn)
     env: Env = {}
-    gen = _run(txn.body, env)
     recorded = [e for e in log.events if e.type in (EventType.READ, EventType.WRITE)]
-    try:
-        next(gen)
-    except StopIteration:
-        return env
-    for event in recorded:
-        try:
-            gen.send(event.value if event.type is EventType.READ else None)
-        except StopIteration:
+    size = len(code)
+    replay_to = len(recorded)
+    pos = 0
+    pc = 0
+    steps = 0
+    while pc < size:
+        op, a, b = code[pc]
+        pc += 1
+        steps += 1
+        if op == _OP_ASSIGN:
+            env[a] = b(env)
+        elif op == _OP_READ:
+            if pos >= replay_to:
+                break
+            event = recorded[pos]
+            env[a] = event.value if event.type is EventType.READ else None
+            pos += 1
+        elif op == _OP_WRITE:
+            if pos >= replay_to:
+                break
+            pos += 1
+        elif op == _OP_JUMP_IF_FALSE:
+            if not a(env):
+                pc = b
+        elif op == _OP_JUMP:
+            pc = a
+        else:  # _OP_ABORT
             break
+    INSTRUCTIONS_EXECUTED += steps
     return env

@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Tuple
 
-from ..core.events import Event, EventId, EventType, TxnId
+from ..core.events import INIT_TXN, Event, EventId, EventType, TxnId
 from ..core.history import History
 from ..core.ordered_history import OrderedHistory
 from ..isolation.base import IsolationLevel
+from ..isolation.saturation import derive_extension_states
 from ..lang.program import Program
 from .executor import AbortOp, CommitOp, ReadOp, WriteOp, next_operation
 
@@ -107,27 +108,27 @@ def apply_action(
     if writer is not None and not action.is_external_read:
         raise ValueError(f"{action.kind} takes no wr source")
     if action.kind is EventType.BEGIN:
-        extended, tid = history.begin_transaction(action.txn.session)
-        assert tid == action.txn, f"begin produced {tid!r}, expected {action.txn!r}"
-        return oh.extended(extended, EventId(tid, 0))
-
-    tid = action.txn
-    eid = EventId(tid, len(history.txns[tid].events))
-    if action.is_external_read:
-        if writer is None:
-            raise ValueError("external read needs a wr source")
-        value = history.visible_write_value(writer, action.var)
-        event = Event(eid, EventType.READ, action.var, value)
-        extended = history.append_event(tid.session, event).add_wr(writer, eid)
-        return oh.extended(extended, eid)
-    event = Event(eid, action.kind, action.var, action.value, local=action.local)
-    return oh.extended(history.append_event(tid.session, event), eid)
+        eid = EventId(action.txn, 0)
+    else:
+        eid = EventId(action.txn, len(history.txns[action.txn].events))
+    return oh.extended(extend_history(history, action, writer), eid)
 
 
 def extend_history(history: History, action: NextAction, writer: Optional[TxnId] = None) -> History:
-    """Like :func:`apply_action` but on a bare history (no event order)."""
+    """``h ⊕ e`` (and ``⊕ wr(writer, e)`` for external reads).
+
+    This is the single chokepoint through which the explorer, the DFS
+    baseline and ``readLatest`` grow histories, so it is also where the
+    child's hot-path caches are **derived** from the parent's instead of
+    being rebuilt per node: the ``so ∪ wr`` closure matrix by a copy plus
+    at most one ``add_edge``, and any cached saturation states by the
+    sibling-shared diffing of
+    :func:`~repro.isolation.saturation.derive_extension_states`.
+    """
     if action.kind is EventType.BEGIN:
-        extended, _tid = history.begin_transaction(action.txn.session)
+        extended, tid = history.begin_transaction(action.txn.session)
+        assert tid == action.txn, f"begin produced {tid!r}, expected {action.txn!r}"
+        _derive_extension_caches(history, extended, action, None)
         return extended
     tid = action.txn
     eid = EventId(tid, len(history.txns[tid].events))
@@ -136,9 +137,50 @@ def extend_history(history: History, action: NextAction, writer: Optional[TxnId]
             raise ValueError("external read needs a wr source")
         value = history.visible_write_value(writer, action.var)
         event = Event(eid, EventType.READ, action.var, value)
-        return history.append_event(tid.session, event).add_wr(writer, eid)
-    event = Event(eid, action.kind, action.var, action.value, local=action.local)
-    return history.append_event(tid.session, event)
+        extended = history.append_event(tid.session, event).add_wr(writer, eid)
+    else:
+        event = Event(eid, action.kind, action.var, action.value, local=action.local)
+        extended = history.append_event(tid.session, event)
+    _derive_extension_caches(history, extended, action, writer)
+    return extended
+
+
+def _derive_extension_caches(
+    parent: History,
+    child: History,
+    action: NextAction,
+    writer: Optional[TxnId],
+) -> None:
+    """Seed ``child``'s caches by diffing from ``parent``'s (both lazy:
+    nothing is derived that the parent has not already computed)."""
+    base = parent.cached_causal_matrix()
+    if base is not None:
+        tid = action.txn
+        if action.kind is EventType.BEGIN:
+            derived = base.copy()
+            derived.add_node(tid)
+            order = child.sessions[tid.session]
+            prev = order[-2] if len(order) > 1 else INIT_TXN
+            derived.add_edge(prev, tid)
+            child.adopt_causal_matrix(derived)
+        elif action.is_external_read:
+            if writer == tid:
+                child.adopt_causal_matrix(base)  # self-wr adds no edge
+            else:
+                derived = base.copy()
+                derived.add_edge(writer, tid)
+                child.adopt_causal_matrix(derived)
+        else:
+            # Same transactions, same so ∪ wr — the frozen matrix is shared.
+            child.adopt_causal_matrix(base)
+    derive_extension_states(
+        parent,
+        child,
+        action.kind,
+        action.txn,
+        event=None if action.kind is EventType.BEGIN else child.txns[action.txn].last_event,
+        writer=writer,
+    )
 
 
 def valid_writes(
@@ -152,22 +194,18 @@ def valid_writes(
     Returns (writer, extended history) pairs so callers don't re-extend.
 
     Each candidate differs from ``history`` by one read event and one wr
-    edge over the *same* transaction set, so its ``so ∪ wr`` closure is the
-    base history's cached :class:`~repro.core.bitrel.RelationMatrix` plus a
-    single incremental ``add_edge`` — the candidates adopt that derived
-    matrix, and the consistency check below never rebuilds the relation.
+    edge over the *same* transaction set, so :func:`extend_history` derives
+    its ``so ∪ wr`` closure (and any cached saturation states) from the
+    base history's caches — the consistency check below never rebuilds the
+    relation and, on the saturation levels, is O(1) per candidate.
     """
     assert action.is_external_read
-    base_matrix = history.causal_matrix()
+    history.causal_matrix()  # ensure the base closure exists to derive from
     results: List[Tuple[TxnId, History]] = []
     for log in history.committed_transactions():
         if not log.writes_var(action.var):
             continue
         candidate = extend_history(history, action, log.tid)
-        derived = base_matrix.copy()
-        if log.tid != action.txn:
-            derived.add_edge(log.tid, action.txn)
-        candidate.adopt_causal_matrix(derived)
         if level.satisfies(candidate):
             results.append((log.tid, candidate))
     return results

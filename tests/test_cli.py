@@ -72,6 +72,68 @@ class TestBench:
         assert "DFS(CC)" in out
 
 
+class TestBenchDiff:
+    @staticmethod
+    def _write(path, cases):
+        import json
+
+        path.write_text(json.dumps({"schema": "repro-bench-v1", "cases": cases}))
+
+    def test_file_pair_speedups_and_exit_zero(self, tmp_path, capsys):
+        base, curr = tmp_path / "BENCH_a.json", tmp_path / "BENCH_b.json"
+        self._write(base, [{"name": "c1", "seconds": 2.0}, {"name": "c2", "seconds": 1.0}])
+        self._write(curr, [{"name": "c1", "seconds": 1.0}, {"name": "c2", "seconds": 1.0}])
+        code = main(["bench", "diff", str(base), str(curr)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2.00x" in out and "geomean speedup 1.41x" in out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        base, curr = tmp_path / "BENCH_a.json", tmp_path / "BENCH_b.json"
+        self._write(base, [{"name": "c1", "seconds": 1.0}])
+        self._write(curr, [{"name": "c1", "seconds": 2.0}])
+        code = main(["bench", "diff", str(base), str(curr)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out and "1 case(s) regressed" in out
+
+    def test_threshold_overrides_regression(self, tmp_path, capsys):
+        base, curr = tmp_path / "BENCH_a.json", tmp_path / "BENCH_b.json"
+        self._write(base, [{"name": "c1", "seconds": 1.0}])
+        self._write(curr, [{"name": "c1", "seconds": 2.0}])
+        assert main(["bench", "diff", str(base), str(curr), "--threshold", "0.4"]) == 0
+        capsys.readouterr()
+
+    def test_directory_pair_matches_by_name(self, tmp_path, capsys):
+        b_dir, c_dir = tmp_path / "base", tmp_path / "curr"
+        b_dir.mkdir(), c_dir.mkdir()
+        self._write(b_dir / "BENCH_x.json", [{"name": "c", "seconds": 3.0}])
+        self._write(c_dir / "BENCH_x.json", [{"name": "c", "seconds": 1.0}])
+        self._write(b_dir / "BENCH_only_base.json", [{"name": "c", "seconds": 1.0}])
+        code = main(["bench", "diff", str(b_dir), str(c_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "BENCH_x" in out and "3.00x" in out
+        assert "only_base" not in out
+
+    def test_timeouts_are_skipped(self, tmp_path, capsys):
+        base, curr = tmp_path / "BENCH_a.json", tmp_path / "BENCH_b.json"
+        self._write(base, [{"name": "c1", "seconds": 30.0, "timed_out": True}])
+        self._write(curr, [{"name": "c1", "seconds": 0.1}])
+        code = main(["bench", "diff", str(base), str(curr)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipped (timeout" in out
+
+    def test_bad_file_is_an_error(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{}")
+        good = tmp_path / "BENCH_good.json"
+        self._write(good, [])
+        with pytest.raises(SystemExit):
+            main(["bench", "diff", str(bad), str(good)])
+
+
 class TestRecordReplay:
     def test_record_then_replay_round_trips(self, program_file, tmp_path, capsys):
         """Acceptance: `repro replay` round-trips a trace from `repro record`."""

@@ -125,6 +125,27 @@ class TestSerialParallelEquivalence:
         )
         assert_equivalent(serial, parallel, "figD1/tiny-budgets")
 
+    def test_tiny_trees_finish_without_forking(self):
+        # The seed-phase probe (min_fork_steps) must notice that a paper
+        # program's whole tree dies out in a few dozen steps and skip the
+        # pool entirely: only the coordinator (key 0) contributes stats.
+        program = PAPER_PROGRAMS[1]()  # fig10, the smallest tree
+        serial = run_serial(program, "CC")
+        explorer = ParallelExplorer(program, get_level("CC"), workers=2)
+        parallel = explorer.run()
+        assert_equivalent(serial, parallel, "fig10/probe")
+        assert list(parallel.worker_stats) == [0]
+
+    def test_min_fork_steps_zero_restores_eager_fanout(self):
+        program = figd1_program()
+        serial = run_serial(program, "CC")
+        explorer = ParallelExplorer(
+            program, get_level("CC"), workers=2, seed_factor=1, min_fork_steps=0
+        )
+        parallel = explorer.run()
+        assert_equivalent(serial, parallel, "figD1/eager")
+        assert [pid for pid in parallel.worker_stats if pid != 0]
+
     def test_workers_zero_means_cpu_count(self):
         import os
 
