@@ -34,16 +34,16 @@ The abort exception
 Aborting a transaction retroactively *removes* its writes (§2.2.1), the
 one non-monotone step of the model: saturation instances quantified over
 that writer — and any forced edges they already contributed — become
-invalid, and edges cannot leave a closure.  When an aborted transaction
-had writes, the affected saturation states are rebuilt from the prefix
-(``IncrementalSaturation.from_history``); write-free aborts stay fully
-incremental.
+invalid.  Fired edges are recorded one-step in each state's matrix, so
+the retraction is in place and exact
+(``IncrementalSaturation.retract_writer``: clear the writer's fired
+bits, re-close); write-free aborts don't touch the matrix at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..core.bitrel import RelationMatrix
 from ..core.events import INIT_TXN, Event, TxnId
@@ -83,6 +83,86 @@ class OnlineStep:
         return all(self.verdicts.values())
 
 
+_NO_SOURCES: frozenset = frozenset()
+
+
+class _TxnEvents:
+    """Minimal stand-in for a ``TransactionLog``: just the event list."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events):
+        self.events = events
+
+
+class _LogsProxy:
+    """``txns[tid]`` over the replayer's live logs, no materialisation."""
+
+    __slots__ = ("_logs",)
+
+    def __init__(self, logs):
+        self._logs = logs
+
+    def __getitem__(self, tid: TxnId) -> _TxnEvents:
+        return _TxnEvents(self._logs[tid])
+
+
+class _PrefixFacts:
+    """The slice of the :class:`~repro.core.history.History` surface that
+    co-free axiom premises consult — ``txns``/``wr`` (RC), ``so_before`` /
+    ``wr_edge`` (RA), ``causally_before`` (CC) — answered straight off the
+    checker's maintained state in O(1) per query.
+
+    Materialising the real history per fed event was the monitor's
+    throughput ceiling: the premise pass only ever touches these five
+    members, so the hot path passes this view instead and the history is
+    built lazily only where search levels or abort rebuilds truly need it.
+    """
+
+    __slots__ = ("_checker", "txns")
+
+    def __init__(self, checker: "OnlineChecker"):
+        self._checker = checker
+        self.txns = _LogsProxy(checker._replayer._logs)
+
+    @property
+    def wr(self):
+        return self._checker._replayer.wr_map
+
+    @staticmethod
+    def so_before(a: TxnId, b: TxnId) -> bool:
+        if a == b:
+            return False
+        if a == INIT_TXN:
+            return True
+        return a.session == b.session and a.index < b.index
+
+    def wr_edge(self, a: TxnId, b: TxnId) -> bool:
+        return a in self._checker._sources_read.get(b, _NO_SOURCES)
+
+    def causally_before(self, a: TxnId, b: TxnId) -> bool:
+        return self._checker._causal.reaches(a, b)
+
+
+@dataclass(frozen=True)
+class Frontier:
+    """A snapshot of the checker's live window (watermark API).
+
+    ``events`` counts every event fed so far; ``live`` the transactions
+    currently materialised (``init`` included); ``evicted`` the
+    transactions garbage-collected via :meth:`OnlineChecker.evict`;
+    ``pending`` the still-open transactions (at most one per session);
+    ``settled`` the live transactions whose causal ancestor cone is fully
+    complete — the frozen past that eviction policies may nominate from.
+    """
+
+    events: int
+    live: int
+    evicted: int
+    pending: Tuple[TxnId, ...]
+    settled: Tuple[TxnId, ...]
+
+
 class OnlineChecker:
     """Streaming isolation checker over a growing trace.
 
@@ -96,10 +176,18 @@ class OnlineChecker:
     levels:
         Which levels to decide after every event; any subset of
         RC/RA/CC/SI/SER (default all five).
+    record_steps:
+        With the default ``True`` every :class:`OnlineStep` is retained
+        (O(events) memory — fine for replay-and-inspect usage).  The
+        streaming monitor passes ``False``: only steps that newly violate
+        a level are kept (bounded by the number of levels), so
+        :meth:`first_violation` still works on unbounded streams.
 
     Use :meth:`from_header` / :meth:`from_trace` when starting from a
     recorded trace, :meth:`feed` per streamed event, and :meth:`replay`
-    for the whole-trace convenience loop.
+    for the whole-trace convenience loop.  :meth:`evict` and
+    :meth:`frontier` are the garbage-collection mechanism the streaming
+    monitor drives (policy lives in :mod:`repro.isolation.liveness`).
     """
 
     def __init__(
@@ -107,6 +195,7 @@ class OnlineChecker:
         variables: Iterable[str],
         initial: Optional[Mapping[str, Hashable]] = None,
         levels: Iterable[str] = DEFAULT_LEVELS,
+        record_steps: bool = True,
     ):
         self.levels: Tuple[str, ...] = tuple(
             sorted((str(l).upper() for l in levels), key=lambda n: get_level(n).strength)
@@ -133,8 +222,15 @@ class OnlineChecker:
             var: [INIT_TXN] for var in header.variables
         }
         self._steps: List[OnlineStep] = []
+        self._record_steps = record_steps
         self._verdicts: Dict[str, bool] = {}
         self._history: Optional[History] = None
+        self._evicted = 0
+        #: reader → wr sources of its external reads so far.  Equals the
+        #: lifted ``wr`` pairs restricted to live transactions; answers
+        #: the RA premise and the RC fast path in O(1).
+        self._sources_read: Dict[TxnId, Set[TxnId]] = {}
+        self._facts = _PrefixFacts(self)
 
     # -- constructors ----------------------------------------------------------
 
@@ -166,29 +262,68 @@ class OnlineChecker:
             source = self._replayer.wr_source(added.eid)
             if source != tid:
                 self._causal.add_edge(source, tid)
-            for state in self._saturation.values():
-                state.add_base_edge(source, tid)
+            prior = self._sources_read.setdefault(tid, set())
+            prior.add(source)
             # New axiom instances: this read against every existing writer.
             self._reads_of_var.setdefault(event.var, []).append((added, source))
+            writers = self._writers_of_var.get(event.var, ())
             for state in self._saturation.values():
-                for t2 in self._writers_of_var.get(event.var, ()):
-                    if t2 != source:
-                        state.add_instance(source, t2, added)
+                state.add_base_edge(source, tid)
+                if not state.static_only:
+                    for t2 in writers:
+                        if t2 != source:
+                            state.add_instance(source, t2, added)
+                elif state.consistent:
+                    # Static premises (RC): the verdict per instance is
+                    # final now — decide it here instead of queueing a
+                    # pending scan.  The wr∘po premise is one lookup in
+                    # the reader's source set (the current read's own
+                    # source only matches t2 == source, which the schema
+                    # excludes, so testing the updated set is exact).
+                    if state.prior_source_only:
+                        for t2 in writers:
+                            if t2 != source and t2 in prior:
+                                state.force_edge(t2, source)
+                                if not state.consistent:
+                                    break
+                    else:
+                        for t2 in writers:
+                            if (
+                                t2 != source
+                                and state.evaluate_instance(source, t2, added, self._facts)
+                                and not state.consistent
+                            ):
+                                break
         elif event.op == "write":
             writers = self._writers_of_var.setdefault(event.var, [])
             if tid not in writers:
                 writers.append(tid)
                 # New axiom instances: this writer against every existing read.
+                reads = self._reads_of_var.get(event.var, ())
                 for state in self._saturation.values():
-                    for read, t1 in self._reads_of_var.get(event.var, ()):
-                        if tid != t1:
-                            state.add_instance(t1, tid, read)
+                    if state.static_only:
+                        if state.consistent:
+                            for read, t1 in reads:
+                                if (
+                                    tid != t1
+                                    and state.evaluate_instance(t1, tid, read, self._facts)
+                                    and not state.consistent
+                                ):
+                                    break
+                    else:
+                        for read, t1 in reads:
+                            if tid != t1:
+                                state.add_instance(t1, tid, read)
         self._history = None
-        history = self.history()
+        # The prefix history is never materialised on the saturation hot
+        # path: premises are decided against the O(1) facts view, so only
+        # search levels (SI/SER) and fired-writer abort rebuilds pay for
+        # a real history.
         if event.op == "abort":
-            self._retract_aborted_writer(tid, history)
+            self._retract_aborted_writer(tid)
         for state in self._saturation.values():
-            state.advance(history)
+            if state.pending_instances:
+                state.advance(self._facts)
         previous = self._verdicts
         verdicts: Dict[str, bool] = {}
         base_acyclic = self._causal.is_acyclic()
@@ -198,9 +333,9 @@ class OnlineChecker:
             elif not base_acyclic:
                 verdicts[name] = False
             elif name == "SI":
-                verdicts[name] = satisfies_si(history)
+                verdicts[name] = satisfies_si(self.history())
             else:
-                verdicts[name] = satisfies_ser(history)
+                verdicts[name] = satisfies_ser(self.history())
         newly = tuple(
             name for name in self.levels if not verdicts[name] and previous.get(name, True)
         )
@@ -211,30 +346,204 @@ class OnlineChecker:
             verdicts=verdicts,
             newly_violated=newly,
         )
-        self._steps.append(step)
+        if self._record_steps or newly:
+            self._steps.append(step)
         return step
 
     def replay(self, trace: Trace) -> List[OnlineStep]:
         """Feed every event of ``trace``; returns one step per event."""
         return [self.feed(event) for event in trace.events]
 
-    def _retract_aborted_writer(self, tid: TxnId, history: History) -> None:
+    def _retract_aborted_writer(self, tid: TxnId) -> None:
         """Undo the aborted transaction's role as a writer (§2.2.1).
 
         Its writes become invisible, so it leaves every ``writers_of``
-        bucket and every pending instance; saturation states that may have
-        already fired an instance quantified over it are rebuilt from the
-        prefix — the one place online checking falls back to batch work.
+        bucket, every pending instance, and — if it had fired forced edges
+        — the maintained relation, via
+        :meth:`IncrementalSaturation.retract_writer` (exact in-place
+        retraction; premises are co-free, so un-firing this writer's
+        edges cannot un-fire anyone else's).  On mostly-clean streams
+        aborted writers fired nothing and the matrix is untouched,
+        keeping the streaming monitor's per-event cost flat.
         """
         if not self._replayer.wrote_any(tid):
             return
         for writers in self._writers_of_var.values():
             if tid in writers:
                 writers.remove(tid)
-        for name in list(self._saturation):
-            self._saturation[name] = IncrementalSaturation.from_history(
-                history, AXIOMS_BY_LEVEL[name]
+        for state in self._saturation.values():
+            state.retract_writer(tid)
+
+    # -- garbage collection (streaming-monitor mechanism) -----------------------
+
+    def pending_transactions(self) -> Tuple[TxnId, ...]:
+        """Still-open transactions, at most one per session."""
+        return tuple(
+            tid for tid in self._replayer.transactions()
+            if tid != INIT_TXN and not self._replayer.is_complete(tid)
+        )
+
+    def pending_mask(self) -> int:
+        """Bitmask of pending transactions in the maintained causal matrix."""
+        mask = 0
+        for tid in self._replayer.transactions():
+            if tid != INIT_TXN and not self._replayer.is_complete(tid):
+                mask |= 1 << self._causal.index_of(tid)
+        return mask
+
+    def is_settled(self, tid: TxnId, pending_mask: Optional[int] = None) -> bool:
+        """Whether ``tid``'s causal (``so ∪ wr``) ancestor cone is complete.
+
+        A settled transaction's in-edge set and premise-relevant past are
+        frozen: no pending ancestor can still write, so no new axiom
+        instance against its reads can ever fire.  This is the common gate
+        of every eviction policy.
+        """
+        if pending_mask is None:
+            pending_mask = self.pending_mask()
+        return not (self._causal.ancestors_mask(tid) & pending_mask)
+
+    def live_wr_sources(self) -> Set[TxnId]:
+        """Transactions named as wr source by a read that can still re-arm.
+
+        While such a read is live, a future first-write of its variable
+        can fire a forced edge *into* the source — so the source must
+        stay.  The reads that can still do that are exactly the un-pruned
+        ``reads-of-var`` entries (settled readers' reads are frozen and
+        dropped by :meth:`prune_settled`); a settled reader keeps its
+        replayer bookkeeping but no longer pins its sources.  Premises
+        quantifying an evicted source as *writer* (``t2``) need the reader
+        to have read from it directly, which implies an un-pruned entry
+        too — new instances never mention an evicted source in any role.
+        """
+        return {
+            source
+            for reads in self._reads_of_var.values()
+            for _read, source in reads
+        }
+
+    def saturation_states(self) -> Tuple["IncrementalSaturation", ...]:
+        """The per-level saturation states (read-only; GC-gate probing)."""
+        return tuple(self._saturation.values())
+
+    def frontier(self) -> Frontier:
+        """The live-window snapshot (see :class:`Frontier`)."""
+        pending_mask = self.pending_mask()
+        pending = self.pending_transactions()
+        settled = tuple(
+            tid for tid in self._replayer.transactions()
+            if tid != INIT_TXN
+            and self._replayer.is_complete(tid)
+            and not (self._causal.ancestors_mask(tid) & pending_mask)
+        )
+        return Frontier(
+            events=self._replayer.event_count,
+            live=self._replayer.live_count,
+            evicted=self._evicted,
+            pending=pending,
+            settled=settled,
+        )
+
+    @property
+    def evicted_count(self) -> int:
+        """Transactions garbage-collected via :meth:`evict` so far."""
+        return self._evicted
+
+    @property
+    def live_transaction_count(self) -> int:
+        """Currently materialised transactions (``init`` included)."""
+        return self._replayer.live_count
+
+    def evict(self, tids: Iterable[TxnId]) -> int:
+        """Drop the given transactions from every maintained structure.
+
+        This is the *mechanism*; eviction *policy* — which transactions can
+        provably never participate in a future violation at the configured
+        level — lives in :mod:`repro.isolation.liveness` and is what the
+        streaming monitor consults before calling this.  The mechanism
+        validates only the invariants whose violation would corrupt state
+        outright: ``init``, pending transactions and each session's most
+        recently begun transaction (its next ``begin`` still needs an
+        ``so`` edge from it) are refused with ``ValueError``.
+
+        Forced edges fired by evicted readers survive in each saturation
+        state's ``fired_edges`` record (endpoints permitting), keeping
+        abort-of-a-writer rebuilds exact afterwards.  Returns the number
+        of transactions evicted.
+        """
+        drop = set(tids)
+        if not drop:
+            return 0
+        for tid in drop:
+            if tid == INIT_TXN:
+                raise ValueError("cannot evict the init transaction")
+            if not self._replayer.is_live(tid):
+                raise ValueError(f"cannot evict unknown/already-evicted {tid!r}")
+            if not self._replayer.is_complete(tid):
+                raise ValueError(f"cannot evict pending transaction {tid!r}")
+            order = self._replayer.session_order(tid.session)
+            if order and order[-1] == tid:
+                raise ValueError(f"cannot evict session-latest transaction {tid!r}")
+        self._replayer.forget(drop)
+        self._causal = self._causal.remove_nodes(drop)
+        for state in self._saturation.values():
+            state.evict(drop)
+        for var, reads in list(self._reads_of_var.items()):
+            kept = [(read, source) for read, source in reads if read.eid.txn not in drop]
+            if kept:
+                self._reads_of_var[var] = kept
+            else:
+                del self._reads_of_var[var]
+        for writers in self._writers_of_var.values():
+            if any(t in drop for t in writers):
+                writers[:] = [t for t in writers if t not in drop]
+        for tid in drop:
+            self._sources_read.pop(tid, None)
+        self._history = None
+        self._evicted += len(drop)
+        return len(drop)
+
+    def prune_settled(self) -> int:
+        """Drop bookkeeping that settled, complete readers can never re-arm.
+
+        Once a reader is settled every so/wr edge into it is frozen, so a
+        pending instance over one of its reads that has not fired is false
+        forever, and any *future* writer's instance against those reads
+        would evaluate the same frozen premise — also false (a complete
+        ancestor's writes were all seen; a non-ancestor never satisfies an
+        RA/CC premise, and an RC premise would need the reader to have
+        read from the future writer, which its frozen log does not).  So
+        both the pending instances and the ``reads-of-var`` entries of
+        settled readers are dropped.  Returns the number of entries
+        pruned.  This is what bounds the monitor's per-event quantifier
+        state on unbounded streams.
+        """
+        pending_mask = self.pending_mask()
+        causal = self._causal
+        replayer = self._replayer
+
+        def reader_settled(tid: TxnId) -> bool:
+            return replayer.is_complete(tid) and not (
+                causal.ancestors_mask(tid) & pending_mask
             )
+
+        pruned = 0
+        for var, reads in list(self._reads_of_var.items()):
+            kept = [
+                (read, source)
+                for read, source in reads
+                if not reader_settled(read.eid.txn)
+            ]
+            pruned += len(reads) - len(kept)
+            if kept:
+                self._reads_of_var[var] = kept
+            else:
+                del self._reads_of_var[var]
+        for state in self._saturation.values():
+            pruned += state.prune_pending(
+                lambda t1, t2, read: reader_settled(read.eid.txn)
+            )
+        return pruned
 
     # -- state ----------------------------------------------------------------------
 
@@ -250,6 +559,16 @@ class OnlineChecker:
             history.adopt_causal_matrix(self._causal.copy())
             self._history = history
         return self._history
+
+    @property
+    def replayer(self) -> TraceReplayer:
+        """The underlying trace → history state machine (read-only use)."""
+        return self._replayer
+
+    @property
+    def causal_matrix(self) -> RelationMatrix:
+        """The maintained ``so ∪ wr`` closure (do not mutate)."""
+        return self._causal
 
     @property
     def verdicts(self) -> Dict[str, bool]:

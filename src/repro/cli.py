@@ -31,6 +31,13 @@ Commands
     either in batch or — with ``--online`` — event by event with the
     incremental checker, reporting where each level is first violated.
 
+``monitor (--stdin | --port PORT)``
+    Long-running bounded-memory monitor: ingest JSONL trace events from
+    stdin or one TCP connection, decide a single isolation level
+    continuously with garbage-collected checker state
+    (:mod:`repro.monitor`), print periodic stats lines, and exit 1 when
+    the stream violated the level.
+
 ``difftest``
     Run workloads on the in-process threaded MVCC engine
     (:mod:`repro.engine`) across scheduler seeds, record each commit log
@@ -47,6 +54,8 @@ Examples::
     python -m repro bench diff benchmarks/baseline benchmarks/results
     python -m repro record program.txn --isolation CC --out run.trace.jsonl
     python -m repro replay run.trace.jsonl --online
+    python -m repro record --app twitter | python -m repro monitor --stdin --isolation RC
+    python -m repro monitor --port 7007 --isolation RC --stale assume-fresh --stats-every 100000
     python -m repro difftest --config serializable --app tpcc --seeds 20
     python -m repro difftest --config no_read_locks --out traces/
 """
@@ -219,6 +228,51 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if all(verdicts.values()) else 1
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from .monitor import MonitorConfig, MonitorStaleReadError, monitor_stream, serve
+    from .trace.format import TraceFormatError
+
+    if (args.port is None) == (not args.stdin):
+        raise SystemExit("error: monitor needs exactly one of --stdin or --port PORT")
+    try:
+        config = MonitorConfig(
+            isolation=args.isolation,
+            window=args.window,
+            gc_every=args.gc_every,
+            evict_batch=args.evict_batch,
+            mode=args.stale,
+        )
+    except ValueError as err:
+        raise SystemExit(f"error: {err}")
+    try:
+        if args.stdin:
+            report = monitor_stream(
+                sys.stdin, config, shards=args.shards, stats_every=args.stats_every
+            )
+        else:
+            report = serve(
+                args.port, config, shards=args.shards, stats_every=args.stats_every
+            )
+    except MonitorStaleReadError as err:
+        raise SystemExit(f"error: {err}")
+    except TraceFormatError as err:
+        raise SystemExit(f"error: {err}")
+    stats = report.stats
+    print(
+        f"{config.isolation}: {'consistent' if report.ok else 'VIOLATION'} "
+        f"after {stats.events} events "
+        f"(live window {stats.live}, peak {report.peak_live}, "
+        f"{stats.evicted} evicted over {stats.collections} collections)"
+    )
+    if report.first_violation is not None:
+        step = report.first_violation
+        print(
+            f"  first violated at event #{step.index} "
+            f"({_describe_trace_event(step.event)})"
+        )
+    return report.exit_code
+
+
 def _describe_trace_event(event) -> str:
     core = f"{event.op} {event.session}/{event.txn}"
     if event.var is not None:
@@ -334,6 +388,26 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("--timeout", type=float, default=None, help="seconds")
     record.add_argument("--out", default="-", help="output path ('-' = stdout, default)")
     record.set_defaults(fn=_cmd_record)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="bounded-memory streaming isolation monitor (stdin or TCP)",
+    )
+    monitor.add_argument("--isolation", default="RC", help="RC|RA|CC|SI|SER (default RC)")
+    monitor.add_argument("--stdin", action="store_true", help="read JSONL trace events from stdin")
+    monitor.add_argument("--port", type=int, default=None, help="listen on TCP PORT for one connection instead")
+    monitor.add_argument("--stats-every", type=int, default=0, help="print a stats line every N events (0 = never)")
+    monitor.add_argument("--window", type=int, default=64, help="retention / freshness window (default 64)")
+    monitor.add_argument("--gc-every", type=int, default=128, help="events between collections (default 128)")
+    monitor.add_argument("--evict-batch", type=int, default=16, help="victims batched per compaction (default 16)")
+    monitor.add_argument("--shards", type=int, default=1, help="checker shards by variable (0 = one per CPU, default 1 = exact)")
+    monitor.add_argument(
+        "--stale",
+        default="keep",
+        choices=("keep", "assume-fresh"),
+        help="retention mode: keep = exact, assume-fresh = bounded memory, fail-stop on stale reads",
+    )
+    monitor.set_defaults(fn=_cmd_monitor)
 
     replay = sub.add_parser("replay", help="check a recorded JSONL trace against isolation levels")
     replay.add_argument("trace", help="trace file ('-' = stdin)")

@@ -377,6 +377,127 @@ class RelationMatrix:
         for src, dst in edges:
             self.add_edge(src, dst)
 
+    def retract_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Remove one-step edges and recompute the closure from ``succ``.
+
+        The inverse of :meth:`add_edge`, for the one retractable edge kind
+        this code base has: an aborted writer's fired ``co`` edges (its
+        axiom instances never existed, §2.2.1).  Clearing the ``succ`` bits
+        and re-closing is exact because ``succ`` holds every *permanent*
+        edge — base ``so ∪ wr`` edges, committed writers' fires, and the
+        closure rows :meth:`remove_nodes` bakes in (all permanent by the
+        monitor's GC gate: compaction never runs while an uncommitted
+        writer has fired edges) — plus, as one-step bits, exactly the
+        still-retractable fires.  Cost is one :meth:`_close` sweep.
+        """
+        if self._frozen:
+            raise ValueError("matrix is frozen (cached on a history); copy() it before retract_edges")
+        if type(self._succ) is array:
+            self._widen()
+        for src, dst in edges:
+            self._succ[self._index[src]] &= ~(1 << self._index[dst])
+        self._close()
+
+    # -- compaction (streaming-monitor GC) -----------------------------------
+
+    #: Number of :meth:`remove_nodes` compactions since interpreter start.
+    compactions: int = 0
+
+    def remove_nodes(self, drop: Iterable[Node]) -> "RelationMatrix":
+        """A new matrix over the surviving nodes, closure restricted exactly.
+
+        The result's descendant/ancestor rows are this matrix's maintained
+        closure rows with the dropped bit positions squeezed out, so every
+        path that ran *through* a dropped node survives as a closure edge
+        between its surviving endpoints.  Consequently, as long as no future
+        :meth:`add_edge` would ever have been incident to a dropped node,
+        every future reachability/acyclicity answer on the compacted matrix
+        equals the answer the uncompacted matrix would have given restricted
+        to survivors — the exactness contract the streaming monitor's
+        eviction relies on.  ``succ`` rows are promoted to the restricted
+        closure as well, so :meth:`retract_edges` (which re-closes from
+        ``succ``) stays exact across compactions; see the inline comment.
+
+        Cost is O(survivors²) bit ops; the monitor amortises it by evicting
+        in batches.  Dropping a node outside the universe raises
+        ``ValueError``.
+        """
+        dropset = set(drop)
+        unknown = dropset - set(self._index)
+        if unknown:
+            raise ValueError(f"remove_nodes: {sorted(map(repr, unknown))} not in universe")
+        keep = [i for i, node in enumerate(self._nodes) if node not in dropset]
+        keep_mask = 0
+        for old_j in keep:
+            keep_mask |= 1 << old_j
+        plan = self._compress_plan(keep_mask, len(self._nodes))
+        compact = self._compress_row
+        dup = object.__new__(RelationMatrix)
+        dup._nodes = tuple(self._nodes[i] for i in keep)
+        dup._index = {node: j for j, node in enumerate(dup._nodes)}
+        # succ is *promoted* to the restricted closure, not merely
+        # restricted: a path that ran through a dropped node must survive as
+        # a one-step edge so a later retract_edges() re-close cannot lose
+        # it.  Sound because the monitor's GC gate guarantees everything in
+        # the matrix at compaction time is permanent (no uncommitted
+        # writer has fired edges).
+        succ = [compact(self._desc[i], keep_mask, plan) for i in keep]
+        desc = [compact(self._desc[i], keep_mask, plan) for i in keep]
+        anc = [compact(self._anc[i], keep_mask, plan) for i in keep]
+        if len(keep) <= _WORD_BITS:
+            succ = array("Q", succ)
+            desc = array("Q", desc)
+            anc = array("Q", anc)
+        dup._succ = succ
+        dup._desc = desc
+        dup._anc = anc
+        dup._acyclic = all(not (desc[j] >> j) & 1 for j in range(len(keep)))
+        dup._frozen = False
+        RelationMatrix.compactions += 1
+        RelationMatrix.word_ops += 3 * len(keep) * ((len(self._nodes) + 63) >> 6)
+        return dup
+
+    @staticmethod
+    def _compress_plan(mask: int, width: int) -> List[int]:
+        """Move masks for the parallel-suffix compress of ``mask``.
+
+        Hacker's Delight 7-4 ("compress", the software PEXT), generalised
+        to arbitrary width: level ``i``'s mask selects the bits that must
+        move right by ``2**i`` so that after all ``ceil(log2(width))``
+        levels the bits under ``mask`` sit densely at the bottom, in
+        order.  Built once per :meth:`remove_nodes` and applied to every
+        row, so each row costs O(log width) bigint ops instead of a
+        Python loop over its set bits.
+        """
+        full = (1 << width) - 1
+        plan: List[int] = []
+        m = mask
+        mk = (~m << 1) & full
+        shift = 1
+        for _ in range((width - 1).bit_length() if width > 1 else 0):
+            mp = mk
+            s = 1
+            while s < width:
+                mp ^= mp << s
+                s <<= 1
+            mv = mp & m
+            plan.append(mv)
+            m = (m ^ mv) | (mv >> shift)
+            mk &= ~mp
+            shift <<= 1
+        return plan
+
+    @staticmethod
+    def _compress_row(row: int, keep_mask: int, plan: List[int]) -> int:
+        """``row``'s bits under ``keep_mask``, squeezed dense at the bottom."""
+        row &= keep_mask
+        shift = 1
+        for mv in plan:
+            t = row & mv
+            row = (row ^ t) | (t >> shift)
+            shift <<= 1
+        return row
+
     def would_close_cycle(self, src: Node, dst: Node) -> bool:
         """Whether adding ``src → dst`` would create (or hit) a cycle."""
         if src == dst:

@@ -4,6 +4,7 @@ from .base import IsolationLevel, get_level, registered_levels
 from .levels import CC, RA, RC, SER, SI, TRUE
 from .reference import satisfies_reference, witness_commit_order
 from .axioms import AXIOMS_BY_LEVEL
+from .liveness import EvictionPolicy, eviction_policy, evictable_transactions
 from .saturation import IncrementalSaturation, satisfies_by_saturation
 from .serializability import satisfies_ser
 from .snapshot import satisfies_si
@@ -21,6 +22,9 @@ __all__ = [
     "satisfies_reference",
     "witness_commit_order",
     "AXIOMS_BY_LEVEL",
+    "EvictionPolicy",
+    "eviction_policy",
+    "evictable_transactions",
     "IncrementalSaturation",
     "satisfies_by_saturation",
     "satisfies_ser",

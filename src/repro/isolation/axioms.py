@@ -47,6 +47,12 @@ class Axiom:
     #: ``so ∪ wr`` (RA) or its closure (CC) grow with the stream and stay
     #: re-checkable until they fire.
     static_premise: bool = False
+    #: True when the premise is exactly "the reader read from ``t2`` at an
+    #: earlier position" (``⟨t2, read⟩ ∈ wr ∘ po``).  For an instance
+    #: evaluated *the moment its read is appended*, that equals membership
+    #: of ``t2`` in the reader's prior wr-source set — the online hot path
+    #: then decides it with one hash lookup instead of a log scan.
+    prior_source_premise: bool = False
 
 
 def axiom_instances(history: History) -> Iterator[Tuple[TxnId, TxnId, Event]]:
@@ -124,7 +130,13 @@ def _conflict_premise(history: History, co: CoPositions, t2: TxnId, read: Event)
     return False
 
 
-READ_COMMITTED_AXIOM = Axiom("Read Committed", _wr_po_premise, co_free=True, static_premise=True)
+READ_COMMITTED_AXIOM = Axiom(
+    "Read Committed",
+    _wr_po_premise,
+    co_free=True,
+    static_premise=True,
+    prior_source_premise=True,
+)
 READ_ATOMIC_AXIOM = Axiom("Read Atomic", _so_wr_premise, co_free=True)
 CAUSAL_AXIOM = Axiom("Causal", _causal_premise, co_free=True)
 SERIALIZABILITY_AXIOM = Axiom("Serializability", _ser_premise, co_free=False)

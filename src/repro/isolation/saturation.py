@@ -99,13 +99,21 @@ class IncrementalSaturation:
 
     The one non-monotone step is an **abort**: an aborted transaction's
     writes vanish (§2.2.1), retroactively deleting every instance it was the
-    writer of — and possibly forced edges already baked into the closure,
-    which cannot be removed.  The caller must detect that case and rebuild
-    via :meth:`from_history` (see ``OnlineChecker``); aborts of write-free
-    transactions need no rebuild.
+    writer of — including forced edges already baked into the closure.
+    :meth:`retract_writer` undoes exactly those (fired edges are recorded
+    one-step in the matrix, so clearing them and re-closing is exact);
+    aborts of write-free transactions need no matrix work at all.
     """
 
-    __slots__ = ("axioms", "matrix", "_pending", "_drop_unfired")
+    __slots__ = (
+        "axioms",
+        "matrix",
+        "_pending",
+        "_drop_unfired",
+        "_prior_source",
+        "fired_edges",
+        "fired_writers",
+    )
 
     #: Axiom premise evaluations since interpreter start (batch and
     #: incremental paths both count).  The per-node cost profile of the
@@ -122,6 +130,21 @@ class IncrementalSaturation:
         #: With only static premises (RC), an unfired instance can never
         #: fire later — evaluate once and drop instead of re-scanning.
         self._drop_unfired = all(axiom.static_premise for axiom in axioms)
+        self._prior_source = bool(axioms) and all(
+            axiom.prior_source_premise for axiom in axioms
+        )
+        #: Forced edges ``(t2, t1)`` actually fired so far.  Premises
+        #: are monotone and unaffected by aborts of *other* transactions,
+        #: so a fired edge stays valid until its writer ``t2`` aborts —
+        #: which lets the online checker (a) retract a never-fired aborted
+        #: writer by just dropping its pending instances, and (b) restore
+        #: edges fired by since-evicted readers after a rebuild, with no
+        #: evict-time re-derivation.
+        self.fired_edges: Set[Tuple[TxnId, TxnId]] = set()
+        #: Distinct writers with at least one fired edge — the O(1) index
+        #: behind :meth:`has_fired_writer` and the monitor's GC gate
+        #: ("compact only when every fired edge's writer is committed").
+        self.fired_writers: Set[TxnId] = set()
 
     @classmethod
     def from_history(cls, history: History, axioms: Tuple[Axiom, ...]) -> "IncrementalSaturation":
@@ -147,6 +170,54 @@ class IncrementalSaturation:
     def add_instance(self, t1: TxnId, t2: TxnId, read: Event) -> None:
         """Queue a new axiom instance ``(t1, t2, read)`` for evaluation."""
         self._pending.append((t1, t2, read))
+
+    def evaluate_instance(self, t1: TxnId, t2: TxnId, read: Event, facts) -> bool:
+        """Evaluate one instance right now instead of queuing it.
+
+        Only meaningful for states whose premises are all *static* (RC):
+        the verdict is final the moment the instance exists, so the online
+        hot path evaluates against its O(1) prefix-facts view and never
+        queues.  ``facts`` is anything premise-compatible with a
+        :class:`~repro.core.history.History`.  Returns whether the
+        instance fired (its forced edge was added).
+        """
+        for axiom in self.axioms:
+            IncrementalSaturation.premise_evals += 1
+            if axiom.premise(facts, {}, t2, read):
+                self.force_edge(t2, t1)
+                return True
+        return False
+
+    def force_edge(self, t2: TxnId, t1: TxnId) -> None:
+        """Apply and record one forced edge whose premise was decided."""
+        self.matrix.add_edge(t2, t1)
+        self.fired_edges.add((t2, t1))
+        self.fired_writers.add(t2)
+
+    def has_fired_writer(self, tid: TxnId) -> bool:
+        """Whether any fired edge is quantified over ``tid`` as writer."""
+        return tid in self.fired_writers
+
+    def retract_writer(self, tid: TxnId) -> None:
+        """Undo an aborted writer's contribution, in place and exactly.
+
+        An abort retroactively empties ``tid``'s write set (§2.2.1):
+        every instance quantifying ``tid`` as writer never existed, so its
+        fired edges leave the relation and its pending instances are
+        dropped.  Premises are co-free, so un-firing ``tid``'s edges
+        cannot un-fire anyone else's — clearing the one-step bits and
+        re-closing the matrix (:meth:`RelationMatrix.retract_edges`)
+        reproduces exactly the state a from-scratch rebuild without
+        ``tid``-as-writer instances would build, at O(live²) bit ops
+        instead of a full history re-expansion.
+        """
+        if tid in self.fired_writers:
+            dead_edges = [edge for edge in self.fired_edges if edge[0] == tid]
+            self.matrix.retract_edges(dead_edges)
+            self.fired_edges.difference_update(dead_edges)
+            self.fired_writers.discard(tid)
+        if self._pending:
+            self._pending = [inst for inst in self._pending if inst[1] != tid]
 
     def advance(self, history: History) -> None:
         """Evaluate pending premises against the current prefix history.
@@ -174,7 +245,7 @@ class IncrementalSaturation:
                     fired = True
                     break
             if fired:
-                self.matrix.add_edge(t2, t1)
+                self.force_edge(t2, t1)
                 if not self.matrix.is_acyclic():
                     # First contradiction: the verdict is settled for this
                     # history and every append-extension; keep the
@@ -185,6 +256,56 @@ class IncrementalSaturation:
             elif not self._drop_unfired:
                 still.append((t1, t2, read))
         self._pending = still
+
+    def evict(self, drop: Set[TxnId]) -> None:
+        """Compact the state to the transactions outside ``drop``.
+
+        The matrix is restricted via
+        :meth:`~repro.core.bitrel.RelationMatrix.remove_nodes` (closure
+        shortcuts through dropped nodes are preserved), and every pending
+        instance mentioning a dropped participant — as source ``t1``,
+        writer ``t2`` or reader — is discarded.  Exactness is the caller's
+        contract: the monitor's per-level eviction predicates
+        (:mod:`repro.isolation.liveness`) only nominate transactions whose
+        dropped instances are provably frozen-false or whose forced edges
+        could never lie on a future cycle, and only while the state is
+        consistent (evicting nodes of an already-closed cycle could
+        otherwise erase the cycle).
+        """
+        if not drop:
+            return
+        self.matrix = self.matrix.remove_nodes(drop)
+        # A fired edge with an evicted endpoint leaves the record: its
+        # closure contribution is already baked in (and survives
+        # remove_nodes as shortcut edges), and rebuilds are restricted to
+        # the live window anyway.
+        self.fired_edges = {
+            edge for edge in self.fired_edges
+            if edge[0] not in drop and edge[1] not in drop
+        }
+        self.fired_writers = {edge[0] for edge in self.fired_edges}
+        self._pending = [
+            (t1, t2, read)
+            for t1, t2, read in self._pending
+            if t1 not in drop and t2 not in drop and read.eid.txn not in drop
+        ]
+
+    def prune_pending(self, dead) -> int:
+        """Drop pending instances ``dead(t1, t2, read)`` says can never fire.
+
+        ``dead`` must only answer ``True`` for instances whose premise is
+        *frozen* false — e.g. RA's one-step ``so ∪ wr`` premise once the
+        reading transaction is complete, or CC's causal premise once the
+        reader's ancestor cone has no pending transaction.  Returns the
+        number of instances dropped.  This is what keeps the monitor's
+        pending list O(live window) instead of O(history).
+        """
+        if not self._pending:
+            return 0
+        kept = [inst for inst in self._pending if not dead(*inst)]
+        dropped = len(self._pending) - len(kept)
+        self._pending = kept
+        return dropped
 
     def fork(self) -> "IncrementalSaturation":
         """An independent state to extend for a child history.
@@ -199,7 +320,22 @@ class IncrementalSaturation:
         dup.matrix = self.matrix.copy()
         dup._pending = list(self._pending)
         dup._drop_unfired = self._drop_unfired
+        dup._prior_source = self._prior_source
+        dup.fired_edges = set(self.fired_edges)
+        dup.fired_writers = set(self.fired_writers)
         return dup
+
+    @property
+    def static_only(self) -> bool:
+        """All premises static: instances decide eagerly, never queue."""
+        return self._drop_unfired
+
+    @property
+    def prior_source_only(self) -> bool:
+        """Every premise is ``⟨t2, read⟩ ∈ wr ∘ po`` (the RC shape): a new
+        read's instances reduce to hash lookups in the reader's prior
+        wr-source set."""
+        return self._prior_source
 
     @property
     def pending_instances(self) -> int:
@@ -311,7 +447,7 @@ def _derive_state(
             if fired:
                 if forked is None:
                     forked = state.fork()
-                forked.matrix.add_edge(tid, t1)
+                forked.force_edge(tid, t1)
             elif not state._drop_unfired:
                 if forked is None:
                     forked = state.fork()

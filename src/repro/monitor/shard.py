@@ -1,0 +1,281 @@
+"""Sharded monitoring: partition checker state by variable across processes.
+
+One monitor's per-event cost grows with the density of reads and writers
+per variable, and a single Python process caps throughput regardless.
+:class:`ShardedMonitor` splits the stream by **variable**: each ``read``
+and ``write`` event is routed to the shard owning its variable
+(``crc32(var) % shards`` — deterministic across runs and machines, unlike
+the randomised builtin ``hash``), while ``begin``/``commit``/``abort``
+are replicated to every shard so all projections agree on sessions,
+session order and transaction fates::
+
+    stream ──┬── begin/commit/abort ──► every shard
+             └── read/write x ───────► shard crc32(x) % N
+
+                shard 0: Monitor over {vars with crc32%N == 0}
+                shard 1: Monitor over {vars with crc32%N == 1}
+                ...
+
+**Soundness** (no false alarms): each shard checks the projection of the
+history onto its variables.  Every axiom instance of the projection —
+a read, its wr source, a visible writer of the *same* variable — is an
+instance of the full history, and RC/RA/CC premises only consult ``so``
+and ``wr`` edges, all of which the projection preserves among its
+transactions... except wr edges of *other* shards' variables, which can
+only make a premise true in the full history that is false in the
+projection.  Forced edges are therefore a subset of the full history's,
+so a cycle found by any shard is a cycle of the full history: a sharded
+violation verdict is always real, at every level.
+
+**Completeness caveat**: an anomaly whose witness cycle threads reads of
+variables owned by *different* shards (e.g. the classic RC gadget over
+``x`` and ``y``) is invisible when those variables are split.  Sharding
+trades exhaustiveness for throughput — production monitoring of a
+firehose, not certification.  ``shards=1`` is exact and equals a plain
+:class:`~repro.monitor.core.Monitor`.
+
+Workers are forked processes fed ``(global_index, event)`` batches over
+pipes (reusing the fork-pool conventions of :mod:`repro.dpor.parallel`);
+on platforms without ``fork`` the shards run inline in one process —
+same verdicts, no parallel speedup.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from ..checking.online import OnlineStep
+from ..dpor.parallel import _forkable, resolve_workers
+from ..trace.format import TraceEvent, TraceHeader
+from .core import Monitor, MonitorConfig, MonitorReport, MonitorStaleReadError, MonitorStats
+
+#: Events buffered per shard before a batch is shipped to its worker.
+BATCH_SIZE = 512
+
+#: Event kinds replicated to every shard (everything non-variable).
+_CONTROL_OPS = frozenset(("begin", "commit", "abort"))
+
+
+def shard_of(var: str, shards: int) -> int:
+    """The shard owning ``var`` — stable across runs, machines, pythons."""
+    return zlib.crc32(var.encode("utf-8")) % shards
+
+
+class _ShardWorker:
+    """One shard's monitor plus its first-violation bookkeeping.
+
+    Runs identically inline (coordinator process) and inside a forked
+    worker — the pipe protocol in :func:`_worker_main` is a thin shell
+    around this.
+    """
+
+    def __init__(self, header: TraceHeader, config: MonitorConfig):
+        self.monitor = Monitor(header, config)
+        self.first: Optional[Tuple[int, OnlineStep]] = None
+
+    def feed(self, global_index: int, event: TraceEvent) -> None:
+        step = self.monitor.feed(event)
+        if step.newly_violated and self.first is None:
+            self.first = (global_index, step)
+
+    def result(self) -> Tuple[MonitorStats, int, Optional[Tuple[int, OnlineStep]]]:
+        return self.monitor.stats(), self.monitor.peak_live, self.first
+
+
+def _worker_main(conn, header: TraceHeader, config: MonitorConfig) -> None:
+    """Forked worker loop: drain batches, answer stats, report on done."""
+    worker = _ShardWorker(header, config)
+    try:
+        while True:
+            kind, payload = conn.recv()
+            if kind == "batch":
+                for global_index, event in payload:
+                    worker.feed(global_index, event)
+            elif kind == "stats":
+                conn.send(("stats", worker.monitor.stats()))
+            else:  # "done"
+                conn.send(("result", worker.result()))
+                return
+    except MonitorStaleReadError as err:
+        conn.send(("error", str(err)))
+    finally:
+        conn.close()
+
+
+class ShardedMonitor:
+    """Variable-sharded streaming monitor (see module docstring).
+
+    Same surface as :class:`~repro.monitor.core.Monitor`: :meth:`feed`
+    per event, :meth:`run` for an iterable, :meth:`stats` /
+    :meth:`report` for results — :meth:`close` (or :meth:`report`, which
+    calls it) must run before the final verdict is complete.  With
+    ``processes=True`` (the default where ``fork`` exists) each shard is
+    a forked worker; pass ``processes=False`` to force inline shards.
+    """
+
+    def __init__(
+        self,
+        header: TraceHeader,
+        config: MonitorConfig = MonitorConfig(),
+        shards: int = 0,
+        processes: Optional[bool] = None,
+    ):
+        self.header = header
+        self.config = config
+        self.shards = resolve_workers(shards)
+        if processes is None:
+            processes = _forkable() and self.shards > 1
+        if processes and not _forkable():
+            raise RuntimeError("sharded worker processes require the fork start method")
+        self.processes = processes
+        self._events = 0
+        self._closed = False
+        self._report: Optional[MonitorReport] = None
+        if not processes:
+            self._workers: List[_ShardWorker] = [
+                _ShardWorker(header, config) for _ in range(self.shards)
+            ]
+            self._conns = None
+        else:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context("fork")
+            self._conns = []
+            self._procs = []
+            for _ in range(self.shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(child, header, config), daemon=True
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+            self._batches: List[List[Tuple[int, TraceEvent]]] = [
+                [] for _ in range(self.shards)
+            ]
+
+    # -- ingestion --------------------------------------------------------------
+
+    def feed(self, event: TraceEvent) -> None:
+        """Route one event: control events to all shards, data to one."""
+        if self._closed:
+            raise RuntimeError("cannot feed a closed ShardedMonitor")
+        global_index = self._events
+        self._events += 1
+        if event.op in _CONTROL_OPS:
+            targets = range(self.shards)
+        else:
+            targets = (shard_of(event.var, self.shards),)
+        if self._conns is None:
+            for i in targets:
+                self._workers[i].feed(global_index, event)
+        else:
+            for i in targets:
+                batch = self._batches[i]
+                batch.append((global_index, event))
+                if len(batch) >= BATCH_SIZE:
+                    self._send(i, ("batch", batch))
+                    self._batches[i] = []
+
+    def run(self, events) -> MonitorReport:
+        """Feed every event, then close and return the merged report."""
+        for event in events:
+            self.feed(event)
+        return self.report()
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def events(self) -> int:
+        """Events ingested by the coordinator so far."""
+        return self._events
+
+    def stats(self) -> MonitorStats:
+        """Merged point-in-time stats across the shards (synchronous:
+        process workers first drain their queued batches)."""
+        if self._conns is None:
+            parts = [w.monitor.stats() for w in self._workers]
+        else:
+            self._flush()
+            for i in range(self.shards):
+                self._send(i, ("stats", None))
+            parts = [self._recv(i, "stats") for i in range(self.shards)]
+        return self._merge_stats(parts)
+
+    def close(self) -> MonitorReport:
+        """Flush, collect every shard's result and merge the verdicts."""
+        if self._report is not None:
+            return self._report
+        self._closed = True
+        if self._conns is None:
+            results = [w.result() for w in self._workers]
+        else:
+            self._flush()
+            for i in range(self.shards):
+                self._send(i, ("done", None))
+            results = [self._recv(i, "result") for i in range(self.shards)]
+            for proc in self._procs:
+                proc.join()
+        stats = self._merge_stats([r[0] for r in results])
+        peak = max((r[1] for r in results), default=0)
+        firsts = [r[2] for r in results if r[2] is not None]
+        first: Optional[OnlineStep] = None
+        if firsts:
+            global_index, step = min(firsts, key=lambda pair: pair[0])
+            first = replace(step, index=global_index)
+        self._report = MonitorReport(
+            config=self.config,
+            ok=not firsts,
+            stats=stats,
+            first_violation=first,
+            peak_live=peak,
+        )
+        return self._report
+
+    def report(self) -> MonitorReport:
+        return self.close()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _merge_stats(self, parts: List[MonitorStats]) -> MonitorStats:
+        return MonitorStats(
+            events=self._events,
+            live=sum(p.live for p in parts),
+            evicted=sum(p.evicted for p in parts),
+            pruned=sum(p.pruned for p in parts),
+            collections=sum(p.collections for p in parts),
+            pending=max((p.pending for p in parts), default=0),
+            violated=any(p.violated for p in parts),
+        )
+
+    def _flush(self) -> None:
+        for i, batch in enumerate(self._batches):
+            if batch:
+                self._send(i, ("batch", batch))
+                self._batches[i] = []
+
+    def _send(self, shard: int, message) -> None:
+        try:
+            self._conns[shard].send(message)
+        except (BrokenPipeError, OSError):
+            # The worker fail-stopped mid-stream; its parting message on
+            # the pipe explains why (e.g. a stale read in assume-fresh
+            # mode) — surface that instead of the broken pipe.
+            try:
+                kind, payload = self._conns[shard].recv()
+            except EOFError:
+                raise RuntimeError(f"shard {shard} died unexpectedly") from None
+            if kind == "error":
+                raise MonitorStaleReadError(f"shard {shard}: {payload}") from None
+            raise RuntimeError(f"shard {shard} died after sending {kind!r}") from None
+
+    def _recv(self, shard: int, expected: str):
+        kind, payload = self._conns[shard].recv()
+        if kind == "error":
+            raise MonitorStaleReadError(f"shard {shard}: {payload}")
+        if kind != expected:
+            raise RuntimeError(f"shard {shard}: expected {expected}, got {kind}")
+        return payload

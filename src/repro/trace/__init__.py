@@ -13,6 +13,7 @@ every isolation level.  Consistency of a trace is decided either in batch
 from .format import (
     TRACE_FORMAT,
     TRACE_VERSION,
+    EvictedTransactionError,
     Trace,
     TraceEvent,
     TraceFormatError,
@@ -23,6 +24,7 @@ from .format import (
 __all__ = [
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "EvictedTransactionError",
     "Trace",
     "TraceEvent",
     "TraceFormatError",
@@ -30,12 +32,23 @@ __all__ = [
     "TraceReplayer",
 ]
 
-from .fuzz import adversarial_corpus, fuzz_history, fuzz_traces, gadget_histories, gadget_traces
+from .fuzz import (
+    adversarial_corpus,
+    fuzz_history,
+    fuzz_stream,
+    fuzz_traces,
+    gadget_histories,
+    gadget_traces,
+)
+from .stream import stream_events, stream_trace
 
 __all__ += [
     "adversarial_corpus",
     "fuzz_history",
+    "fuzz_stream",
     "fuzz_traces",
     "gadget_histories",
     "gadget_traces",
+    "stream_events",
+    "stream_trace",
 ]

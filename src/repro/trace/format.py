@@ -36,7 +36,19 @@ from __future__ import annotations
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..core.events import INIT_TXN, Event, EventId, EventType, TxnId
 from ..core.history import History, TransactionLog
@@ -54,6 +66,17 @@ _EVENT_TYPES = {t.value for t in EventType}
 
 class TraceFormatError(ValueError):
     """A trace file/line violates the schema or the event-order rules."""
+
+
+class EvictedTransactionError(TraceFormatError):
+    """An event references a transaction the replayer was told to forget.
+
+    Raised instead of the generic "unknown transaction" error when the
+    transaction demonstrably *existed* (its session's begin counter has
+    passed its index) but has been evicted via :meth:`TraceReplayer.forget`.
+    The streaming monitor surfaces this as a stale read under the
+    ``assume-fresh`` retention mode; in ``keep`` mode it cannot occur.
+    """
 
 
 @dataclass(frozen=True)
@@ -441,6 +464,12 @@ class TraceReplayer:
             INIT_TXN: dict(init.txns[INIT_TXN].writes())
         }
         self._count = 0
+        # Per-session summaries that survive forget(): how many transactions
+        # the session has begun (= the next valid begin index) and which
+        # transaction, if any, is still pending.  O(sessions), not O(events).
+        self._session_begun: Dict[str, int] = {}
+        self._session_open: Dict[str, Optional[TxnId]] = {}
+        self._forgotten = 0
 
     # -- queries ---------------------------------------------------------------
 
@@ -461,6 +490,19 @@ class TraceReplayer:
         """The wr source of the given read event, if recorded."""
         return self._wr.get(eid)
 
+    def events_of(self, tid: TxnId) -> List[Event]:
+        """The live event log of ``tid`` (do not mutate)."""
+        return self._logs[tid]
+
+    @property
+    def wr_map(self) -> Dict[EventId, TxnId]:
+        """read event id → wr source, over live reads (do not mutate)."""
+        return self._wr
+
+    def wr_sources(self) -> Set[TxnId]:
+        """Every transaction currently named as a wr source by a live read."""
+        return set(self._wr.values())
+
     def wrote_any(self, tid: TxnId) -> bool:
         """Whether ``tid`` has recorded at least one write (aborted or not)."""
         return bool(self._writes.get(tid))
@@ -470,6 +512,29 @@ class TraceReplayer:
 
     def is_aborted(self, tid: TxnId) -> bool:
         return self._complete.get(tid) == "abort"
+
+    def is_live(self, tid: TxnId) -> bool:
+        """Whether ``tid`` is currently materialised (not forgotten)."""
+        return tid in self._logs
+
+    def was_forgotten(self, tid: TxnId) -> bool:
+        """Whether ``tid`` existed at some point but was evicted.
+
+        Decidable in O(1) from the per-session begin counter: the
+        transaction existed iff its index is below the session's next begin
+        index, and it is forgotten iff it no longer has a log.
+        """
+        return tid not in self._logs and tid.index < self._session_begun.get(tid.session, 0)
+
+    @property
+    def forgotten_count(self) -> int:
+        """Total transactions evicted via :meth:`forget` so far."""
+        return self._forgotten
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently materialised transactions (incl. ``init``)."""
+        return len(self._logs)
 
     def visible_writes(self, tid: TxnId) -> Dict[str, Event]:
         """``writes(t)`` so far: var → last write; empty once aborted."""
@@ -484,6 +549,49 @@ class TraceReplayer:
         }
         sessions = {session: tuple(order) for session, order in self._sessions.items()}
         return History(sessions, txns, dict(self._wr))
+
+    # -- eviction (streaming-monitor GC) ---------------------------------------
+
+    def forget(self, tids: Iterable[TxnId]) -> None:
+        """Drop the state of the given *complete* transactions.
+
+        The per-session summaries keep begin-validation exact afterwards
+        (the next index and pending-predecessor checks never consult the
+        dropped logs), and :meth:`was_forgotten` stays decidable.  wr
+        entries with a forgotten endpoint are dropped too — the caller
+        (:class:`~repro.checking.online.OnlineChecker`) is responsible for
+        having baked any still-relevant reachability into its maintained
+        closure before forgetting.  Forgetting ``init``, a pending
+        transaction, or an unknown one raises ``ValueError``.
+        """
+        drop = set(tids)
+        if not drop:
+            return
+        if INIT_TXN in drop:
+            raise ValueError("cannot forget the init transaction")
+        for tid in drop:
+            if tid not in self._logs:
+                raise ValueError(f"cannot forget unknown transaction {tid!r}")
+            if tid not in self._complete:
+                raise ValueError(f"cannot forget pending transaction {tid!r}")
+        for tid in drop:
+            del self._logs[tid]
+            self._writes.pop(tid, None)
+            self._complete.pop(tid, None)
+        self._txn_order = [t for t in self._txn_order if t not in drop]
+        for session in {t.session for t in drop}:
+            kept = [t for t in self._sessions.get(session, []) if t not in drop]
+            if kept:
+                self._sessions[session] = kept
+            else:
+                self._sessions.pop(session, None)
+        if self._wr:
+            self._wr = {
+                eid: src
+                for eid, src in self._wr.items()
+                if eid.txn not in drop and src not in drop
+            }
+        self._forgotten += len(drop)
 
     # -- applying events ----------------------------------------------------------
 
@@ -500,6 +608,8 @@ class TraceReplayer:
         tid = event.tid
         log = self._logs.get(tid)
         if log is None:
+            if self.was_forgotten(tid):
+                raise EvictedTransactionError(f"event for evicted transaction {tid!r}")
             raise TraceFormatError(f"event for unknown transaction {tid!r} (missing begin)")
         if tid in self._complete:
             raise TraceFormatError(f"event for already-complete transaction {tid!r}")
@@ -509,16 +619,19 @@ class TraceReplayer:
         tid = event.tid
         if tid.session == INIT_TXN.session:
             raise TraceFormatError(f"session name {tid.session!r} is reserved")
-        order = self._sessions.setdefault(tid.session, [])
-        if event.txn != len(order):
+        begun = self._session_begun.get(tid.session, 0)
+        if event.txn != begun:
             raise TraceFormatError(
-                f"begin of {tid!r} out of order: next index in session is {len(order)}"
+                f"begin of {tid!r} out of order: next index in session is {begun}"
             )
-        if order and order[-1] not in self._complete:
+        open_tid = self._session_open.get(tid.session)
+        if open_tid is not None:
             raise TraceFormatError(
-                f"begin of {tid!r} while {order[-1]!r} is still pending"
+                f"begin of {tid!r} while {open_tid!r} is still pending"
             )
-        order.append(tid)
+        self._sessions.setdefault(tid.session, []).append(tid)
+        self._session_begun[tid.session] = begun + 1
+        self._session_open[tid.session] = tid
         added = Event(EventId(tid, 0), EventType.BEGIN)
         self._logs[tid] = [added]
         self._txn_order.append(tid)
@@ -539,6 +652,10 @@ class TraceReplayer:
             if source is None:
                 raise TraceFormatError(f"external read in {tid!r} has no source")
             if source != INIT_TXN and source not in self._logs:
+                if self.was_forgotten(source):
+                    raise EvictedTransactionError(
+                        f"read in {tid!r} from evicted transaction {source!r}"
+                    )
                 raise TraceFormatError(f"read in {tid!r} from unknown transaction {source!r}")
             if event.var not in self.visible_writes(source):
                 raise TraceFormatError(
@@ -564,6 +681,7 @@ class TraceReplayer:
         added = Event(EventId(tid, len(log)), EventType.COMMIT)
         log.append(added)
         self._complete[tid] = "commit"
+        self._session_open[tid.session] = None
         return added
 
     def _apply_abort(self, event: TraceEvent) -> Event:
@@ -571,4 +689,5 @@ class TraceReplayer:
         added = Event(EventId(tid, len(log)), EventType.ABORT)
         log.append(added)
         self._complete[tid] = "abort"
+        self._session_open[tid.session] = None
         return added

@@ -18,12 +18,13 @@ across runs and machines.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..core.events import INIT_SESSION
 from ..core.hbuilder import HistoryBuilder
 from ..core.history import History
 from ..isolation.base import get_level
-from .format import Trace
+from .format import Trace, TraceEvent, TraceHeader
 
 #: The level ladder the corpus covers.
 LEVELS: Tuple[str, ...] = ("RC", "RA", "CC", "SI", "SER")
@@ -213,3 +214,95 @@ def adversarial_corpus(
             f"within {max_tries} seeds"
         )
     return corpus
+
+
+# -- unbounded event streams (streaming-monitor soak) -------------------------------
+
+
+def fuzz_stream(
+    seed: int,
+    events: int,
+    sessions: int = 8,
+    variables: Tuple[str, ...] = ("x", "y", "z"),
+    staleness: int = 4,
+    abort_rate: float = 0.05,
+    read_ratio: float = 0.55,
+    max_ops: int = 4,
+    stale_read_rate: float = 0.0,
+) -> Tuple[TraceHeader, Iterator[TraceEvent]]:
+    """A seeded well-formed event *stream* with bounded read staleness.
+
+    Returns ``(header, generator)`` where the generator lazily yields
+    exactly ``events`` :class:`~repro.trace.format.TraceEvent` objects —
+    nothing is ever buffered, so million-event streams cost O(sessions +
+    variables) generator state.  Unlike :func:`fuzz_history`, whose reads
+    may name arbitrarily *old* committed writers, every read here draws
+    its source from the last ``staleness`` committed writers of the
+    variable (``init`` until the window fills).  That is precisely the
+    freshness assumption of the monitor's ``assume-fresh`` retention mode:
+    a monitor whose window is at least ``staleness`` never sees a read
+    naming an evicted writer, and its live window stays bounded while the
+    unbounded checker's state grows linearly.
+
+    By default every read names the *latest* committed writer, keeping the
+    stream consistent at the weaker levels indefinitely (violations pause
+    garbage collection, so a soak stream must mostly stay clean);
+    ``stale_read_rate`` mixes in reads from deeper in the staleness window
+    to provoke violations for adversarial tests.
+    """
+    header = TraceHeader(
+        variables=tuple(variables),
+        name=f"fuzz-stream-{seed}",
+        meta={"generator": "fuzz_stream", "seed": seed, "staleness": staleness},
+    )
+
+    def generate() -> Iterator[TraceEvent]:
+        rng = random.Random(seed)
+        recent: Dict[str, List[Tuple[Tuple[str, int], object]]] = {
+            var: [((INIT_SESSION, 0), 0)] for var in variables
+        }
+        next_index = [0] * sessions
+        open_txn: List[Optional[Tuple[int, int, Dict[str, int]]]] = [None] * sessions
+        counter = 0
+        emitted = 0
+        while emitted < events:
+            s = rng.randrange(sessions)
+            name = f"s{s}"
+            state = open_txn[s]
+            if state is None:
+                index = next_index[s]
+                next_index[s] += 1
+                open_txn[s] = (index, rng.randint(1, max_ops), {})
+                yield TraceEvent("begin", name, index)
+                emitted += 1
+                continue
+            index, planned, wrote = state
+            if planned <= 0:
+                if rng.random() < abort_rate:
+                    yield TraceEvent("abort", name, index)
+                else:
+                    yield TraceEvent("commit", name, index)
+                    for var, value in wrote.items():
+                        bucket = recent[var]
+                        bucket.append(((name, index), value))
+                        if len(bucket) > staleness:
+                            del bucket[0]
+                open_txn[s] = None
+                emitted += 1
+                continue
+            open_txn[s] = (index, planned - 1, wrote)
+            var = rng.choice(variables)
+            if rng.random() < read_ratio:
+                bucket = recent[var]
+                if stale_read_rate and rng.random() < stale_read_rate:
+                    source, value = rng.choice(bucket)
+                else:
+                    source, value = bucket[-1]
+                yield TraceEvent("read", name, index, var, value, source=source)
+            else:
+                counter += 1
+                wrote[var] = counter
+                yield TraceEvent("write", name, index, var, counter)
+            emitted += 1
+
+    return header, generate()

@@ -281,3 +281,93 @@ class TestHistoryIntegration:
                 assert history.causal_past(a) == {
                     t for t in adj if t != a and a in naive_reachable(adj, t)
                 }
+
+
+class TestCompaction:
+    """remove_nodes / retract_edges — the streaming monitor's primitives."""
+
+    def test_remove_nodes_preserves_survivor_reachability(self):
+        """Closure answers between survivors must survive compaction,
+        including paths that ran *through* dropped nodes."""
+        rng = random.Random(11)
+        for _ in range(60):
+            n, edges, adj = random_graph(rng, cyclic_ok=False)
+            matrix = RelationMatrix(range(n), edges)
+            drop = {i for i in range(n) if rng.random() < 0.4 and n - 1}
+            if len(drop) == n:
+                drop.pop()
+            compacted = matrix.remove_nodes(drop)
+            closure = naive_closure(adj)
+            keep = [i for i in range(n) if i not in drop]
+            assert set(compacted.nodes) == set(keep)
+            for a in keep:
+                for b in keep:
+                    if a != b:
+                        assert compacted.reaches(a, b) == (b in closure[a]), (
+                            f"reaches({a},{b}) diverged after dropping {drop}"
+                        )
+            assert compacted.is_acyclic() == all(
+                a not in closure[a] for a in keep
+            )
+
+    def test_remove_nodes_rejects_unknown(self):
+        matrix = RelationMatrix(range(3), [(0, 1)])
+        with pytest.raises(ValueError):
+            matrix.remove_nodes({7})
+
+    def test_compress_matches_per_bit_reference(self):
+        rng = random.Random(5)
+        for _ in range(200):
+            width = rng.randrange(1, 200)
+            keep = sorted(rng.sample(range(width), rng.randrange(0, width + 1)))
+            mask = 0
+            for j in keep:
+                mask |= 1 << j
+            plan = RelationMatrix._compress_plan(mask, width)
+            row = rng.getrandbits(width)
+            expected = 0
+            for new_j, old_j in enumerate(keep):
+                if (row >> old_j) & 1:
+                    expected |= 1 << new_j
+            assert RelationMatrix._compress_row(row, mask, plan) == expected
+
+    def test_retract_edges_equals_never_added(self):
+        """add → retract must equal the matrix where the edges never were."""
+        rng = random.Random(23)
+        for _ in range(60):
+            n, edges, adj = random_graph(rng, cyclic_ok=True)
+            extra = set()
+            for _ in range(rng.randrange(1, 4)):
+                extra.add((rng.randrange(n), rng.randrange(n)))
+            extra -= set(edges)
+            extra -= {(i, i) for i in range(n)}
+            matrix = RelationMatrix(range(n), edges)
+            for src, dst in extra:
+                matrix.add_edge(src, dst)
+            matrix.retract_edges(extra)
+            reference = RelationMatrix(range(n), edges)
+            for a in range(n):
+                for b in range(n):
+                    assert matrix.reaches(a, b) == reference.reaches(a, b)
+            assert matrix.is_acyclic() == reference.is_acyclic()
+
+    def test_retract_after_compaction_keeps_baked_paths(self):
+        """Compaction bakes through-paths into succ, so a later retraction
+        must not lose them (the monitor's abort-after-eviction scenario).
+        Per the GC gate's contract, the retractable edge arrives *after*
+        the compaction — everything present at compaction is permanent.
+        """
+        matrix = RelationMatrix(range(4), [(0, 1), (1, 2)])
+        compacted = matrix.remove_nodes({1})  # 0 → 2 survives as baked path
+        assert compacted.reaches(0, 2)
+        compacted.add_edge(3, 0)  # fired after the compaction
+        assert compacted.reaches(3, 2)
+        compacted.retract_edges([(3, 0)])
+        assert compacted.reaches(0, 2), "baked through-path lost on re-close"
+        assert not compacted.reaches(3, 2)
+        assert not compacted.reaches(3, 0)
+
+    def test_retract_on_frozen_matrix_raises(self):
+        matrix = RelationMatrix(range(2), [(0, 1)]).freeze()
+        with pytest.raises(ValueError):
+            matrix.retract_edges([(0, 1)])

@@ -309,3 +309,123 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestMonitor:
+    """`repro record | repro monitor --stdin` round trips, end to end."""
+
+    def _pipe(self, monkeypatch, text, argv):
+        """Feed ``text`` as the monitor's stdin and run the CLI."""
+        import io
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(text))
+        return main(argv)
+
+    def test_honest_workload_is_consistent(self, monkeypatch, capsys):
+        """Acceptance: an honest recorded app workload monitors clean."""
+        assert main(["record", "--app", "twitter", "--sessions", "2",
+                     "--txns", "2", "--seed", "1", "--out", "-"]) == 0
+        trace_text = capsys.readouterr().out
+        code = self._pipe(
+            monkeypatch, trace_text,
+            ["monitor", "--stdin", "--isolation", "RC",
+             "--window", "1", "--gc-every", "1", "--evict-batch", "1"],
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RC: consistent" in out
+
+    def test_bugged_engine_trace_is_caught(self, monkeypatch, capsys):
+        """A dirty-read trace from the seeded-bug engine exits 1 with the
+        violating event named.  Seed 3 deterministically exhibits
+        early_release's dirty read on this demo workload."""
+        from repro.engine import SEEDED_BUGS, run_program
+        from repro.engine.harness import BUG_DEMOS
+
+        run = run_program(
+            BUG_DEMOS["early_release"](),
+            SEEDED_BUGS["early_release"].config(),
+            seed=3,
+            name="demo:early_release#s3",
+        )
+        code = self._pipe(
+            monkeypatch, run.trace.dumps(),
+            ["monitor", "--stdin", "--isolation", "RC"],
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in out
+        assert "first violated at event #" in out
+
+    def test_gadget_over_socket_port(self, capsys):
+        """--port serves one connection's stream and propagates the verdict."""
+        import socket
+        import threading
+
+        from repro.trace import gadget_traces
+
+        payload = gadget_traces()["ser_violation"].dumps()
+        box = {}
+
+        # Bind-then-connect without a race: grab a free port first.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        def _run_fixed():
+            box["code"] = main(["monitor", "--port", str(port), "--isolation", "SER"])
+
+        server = threading.Thread(target=_run_fixed, daemon=True)
+        server.start()
+        for _ in range(100):
+            try:
+                conn = socket.create_connection(("127.0.0.1", port), timeout=5)
+                break
+            except OSError:
+                import time
+
+                time.sleep(0.05)
+        else:
+            pytest.fail("monitor --port never started listening")
+        with conn:
+            conn.sendall(payload.encode("utf-8"))
+        server.join(timeout=10)
+        assert not server.is_alive()
+        out = capsys.readouterr().out
+        assert box["code"] == 1
+        assert "VIOLATION" in out
+
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(SystemExit):
+            main(["monitor", "--isolation", "RC"])
+        with pytest.raises(SystemExit):
+            main(["monitor", "--stdin", "--port", "9", "--isolation", "RC"])
+
+    def test_unknown_level_rejected(self, monkeypatch):
+        with pytest.raises(SystemExit):
+            self._pipe(monkeypatch, "", ["monitor", "--stdin", "--isolation", "XX"])
+
+    def test_assume_fresh_rejected_off_rc(self, monkeypatch):
+        with pytest.raises(SystemExit):
+            self._pipe(
+                monkeypatch, "",
+                ["monitor", "--stdin", "--isolation", "SER", "--stale", "assume-fresh"],
+            )
+
+    def test_garbage_stream_rejected(self, monkeypatch):
+        with pytest.raises(SystemExit):
+            self._pipe(monkeypatch, "not json\n", ["monitor", "--stdin"])
+
+    def test_stats_lines_on_stderr(self, monkeypatch, capsys):
+        from repro.trace import gadget_traces
+
+        trace_text = gadget_traces()["rc_violation"].dumps()
+        code = self._pipe(
+            monkeypatch, trace_text,
+            ["monitor", "--stdin", "--isolation", "RC", "--stats-every", "2"],
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "[monitor] events=" in captured.err

@@ -65,16 +65,20 @@ def test_heading_slugs_deduplicate_like_github(tmp_path):
 
 
 def test_api_reference_covers_the_public_surface():
-    """docs/api.md must mention every name exported by repro, repro.trace
-    and repro.engine."""
+    """docs/api.md must mention every name exported by repro, repro.trace,
+    repro.engine and repro.monitor."""
     import repro
     import repro.engine
+    import repro.monitor
     import repro.trace
 
     api = (ROOT / "docs" / "api.md").read_text(encoding="utf-8")
     missing = [
         name
-        for name in set(repro.__all__) | set(repro.trace.__all__) | set(repro.engine.__all__)
+        for name in set(repro.__all__)
+        | set(repro.trace.__all__)
+        | set(repro.engine.__all__)
+        | set(repro.monitor.__all__)
         if not re.search(rf"\b{re.escape(name)}\b", api)
     ]
     assert not missing, f"docs/api.md does not mention: {sorted(missing)}"

@@ -1,0 +1,200 @@
+"""Sharded-monitor tests: routing, merging, fork/inline agreement.
+
+The sharding contract (see :mod:`repro.monitor.shard`): ``shards=1`` is
+exact and equals a plain :class:`Monitor`; with more shards every verdict
+of *violation* is real (soundness), single-variable anomalies are always
+found (all ops on one variable land on one shard), and the forked
+process mode must agree bit-for-bit with the inline mode because each
+shard worker sees the identical event subsequence either way.
+"""
+
+import threading
+
+import pytest
+
+from repro.dpor.parallel import _forkable
+from repro.monitor import Monitor, MonitorConfig, ShardedMonitor, serve
+from repro.monitor.shard import shard_of
+from repro.trace import Trace, fuzz_history, fuzz_stream, gadget_traces
+
+TIGHT = dict(window=1, gc_every=1, evict_batch=1)
+
+
+def _stream(seed, events=400, sessions=4):
+    return fuzz_stream(seed=seed, events=events, sessions=sessions, staleness=3)
+
+
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for shards in (1, 2, 3, 8):
+            for var in ("x", "y", "key-123", ""):
+                owner = shard_of(var, shards)
+                assert 0 <= owner < shards
+                assert owner == shard_of(var, shards)
+
+    def test_one_shard_owns_everything(self):
+        assert all(shard_of(v, 1) == 0 for v in ("x", "y", "z"))
+
+
+class TestSingleShardIsExact:
+    """shards=1 must reproduce the plain Monitor verbatim."""
+
+    @pytest.mark.parametrize("name", sorted(gadget_traces()))
+    def test_matches_monitor_on_gadgets(self, name):
+        trace = gadget_traces()[name]
+        config = MonitorConfig(isolation="SER", **TIGHT)
+        plain = Monitor(trace.header, config).run(trace.events)
+        sharded = ShardedMonitor(
+            trace.header, config, shards=1, processes=False
+        ).run(trace.events)
+        assert sharded.ok == plain.ok
+        assert sharded.exit_code == plain.exit_code
+        assert sharded.stats.events == plain.stats.events
+        assert sharded.stats.violated == plain.stats.violated
+        if plain.first_violation is None:
+            assert sharded.first_violation is None
+        else:
+            assert sharded.first_violation is not None
+            assert sharded.first_violation.index == plain.first_violation.index
+            assert sharded.first_violation.event == plain.first_violation.event
+
+
+class TestShardedRouting:
+    def test_single_variable_violation_survives_sharding(self):
+        """lost_update lives entirely on ``x``: every shard count finds it
+        at the same global event index as the unsharded monitor."""
+        trace = gadget_traces()["lost_update"]
+        config = MonitorConfig(isolation="SER", **TIGHT)
+        plain = Monitor(trace.header, config).run(trace.events)
+        assert not plain.ok
+        for shards in (2, 3, 5):
+            report = ShardedMonitor(
+                trace.header, config, shards=shards, processes=False
+            ).run(trace.events)
+            assert not report.ok
+            assert report.exit_code == 1
+            assert report.first_violation is not None
+            assert report.first_violation.index == plain.first_violation.index
+            assert report.first_violation.event == plain.first_violation.event
+
+    def test_sharded_verdicts_are_sound(self):
+        """A sharded violation is always a real one: on fuzzed streams the
+        set of violating seeds under sharding is a subset of the exact
+        monitor's (projection only ever *removes* axiom instances)."""
+        config = MonitorConfig(isolation="RC", mode="assume-fresh", **TIGHT)
+        for seed in range(6):
+            header, events = _stream(seed)
+            events = list(events)
+            exact = Monitor(header, config).run(events)
+            sharded = ShardedMonitor(
+                header, config, shards=2, processes=False
+            ).run(events)
+            if not sharded.ok:
+                assert not exact.ok
+
+    def test_stats_merge_counts_every_event_once(self):
+        header, events = _stream(seed=11, events=300)
+        monitor = ShardedMonitor(
+            header,
+            MonitorConfig(isolation="RC", mode="assume-fresh", window=4, gc_every=8),
+            shards=3,
+            processes=False,
+        )
+        report = monitor.run(events)
+        # The coordinator counts global events; shard-local live/evicted add up.
+        assert report.stats.events == 300
+        assert report.stats.live >= 0
+        assert report.stats.evicted > 0
+        assert monitor.events == 300
+
+    def test_feed_after_close_raises(self):
+        header, events = _stream(seed=1, events=10)
+        events = list(events)
+        monitor = ShardedMonitor(
+            header, MonitorConfig(isolation="RC"), shards=2, processes=False
+        )
+        monitor.run(events)
+        with pytest.raises(RuntimeError):
+            monitor.feed(events[0])
+
+
+@pytest.mark.skipif(not _forkable(), reason="fork start method unavailable")
+class TestForkedWorkers:
+    """Process mode must agree with inline mode on the same stream."""
+
+    def test_forked_matches_inline(self):
+        header, events = _stream(seed=5, events=600, sessions=5)
+        events = list(events)
+        config = MonitorConfig(
+            isolation="RC", mode="assume-fresh", window=4, gc_every=16, evict_batch=8
+        )
+        inline = ShardedMonitor(header, config, shards=2, processes=False).run(events)
+        forked = ShardedMonitor(header, config, shards=2, processes=True).run(events)
+        assert forked.ok == inline.ok
+        assert forked.stats.events == inline.stats.events
+        assert forked.stats.live == inline.stats.live
+        assert forked.stats.evicted == inline.stats.evicted
+        assert forked.stats.collections == inline.stats.collections
+        assert forked.peak_live == inline.peak_live
+
+    def test_forked_finds_violation(self):
+        trace = gadget_traces()["lost_update"]
+        config = MonitorConfig(isolation="SER", **TIGHT)
+        plain = Monitor(trace.header, config).run(trace.events)
+        forked = ShardedMonitor(
+            trace.header, config, shards=2, processes=True
+        ).run(trace.events)
+        assert not forked.ok
+        assert forked.first_violation.index == plain.first_violation.index
+
+    def test_mid_stream_stats_are_synchronous(self):
+        header, events = _stream(seed=7, events=200)
+        monitor = ShardedMonitor(
+            header,
+            MonitorConfig(isolation="RC", mode="assume-fresh", window=4, gc_every=8),
+            shards=2,
+            processes=True,
+        )
+        fed = 0
+        for event in events:
+            monitor.feed(event)
+            fed += 1
+            if fed == 100:
+                stats = monitor.stats()
+                assert stats.events == 100
+        report = monitor.report()
+        assert report.stats.events == 200
+
+
+class TestServe:
+    def test_socket_round_trip(self):
+        """serve() binds, reads one connection's JSONL stream, verdicts."""
+        import socket
+
+        trace = gadget_traces()["rc_violation"]
+        payload = trace.dumps()
+        box = {}
+        ready = threading.Event()
+
+        def _capture(port):
+            box["port"] = port
+            ready.set()
+
+        def _run():
+            box["report"] = serve(
+                0,
+                MonitorConfig(isolation="RC", **TIGHT),
+                ready=_capture,
+            )
+
+        server = threading.Thread(target=_run, daemon=True)
+        server.start()
+        assert ready.wait(timeout=10)
+        with socket.create_connection(("127.0.0.1", box["port"]), timeout=10) as conn:
+            conn.sendall(payload.encode("utf-8"))
+        server.join(timeout=10)
+        assert not server.is_alive()
+        report = box["report"]
+        assert not report.ok
+        assert report.exit_code == 1
+        assert report.first_violation is not None
