@@ -69,8 +69,13 @@ class ModelChecker:
     workers:
         Process count for the exploration: ``1`` (default) runs in-process,
         ``0`` means one worker per CPU, and any N > 1 spreads the DPOR
-        exploration over a pool of N processes with identical results
-        (``method="dfs"`` always runs in-process).
+        exploration over a persistent pool of N worker processes with
+        identical results (``method="dfs"`` always runs in-process).
+        Where no pool can start — no multiprocessing start method can
+        ship this program's engine — :meth:`run` raises
+        :class:`~repro.dpor.pool.PoolUnavailableError` immediately rather
+        than hanging or silently falling back to serial; callers wanting
+        the serial behaviour pass ``workers=1`` explicitly.
     """
 
     def __init__(

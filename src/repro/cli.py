@@ -87,12 +87,21 @@ def _read_program(path: str):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from .dpor.pool import PoolUnavailableError
+
     program = _read_program(args.file)
     checker = ModelChecker(
         program, isolation=args.isolation, method=args.method, workers=args.workers
     )
     shown = 0
-    result = checker.run(timeout=args.timeout, keep_outcomes=bool(args.show_histories or args.dot))
+    try:
+        result = checker.run(
+            timeout=args.timeout, keep_outcomes=bool(args.show_histories or args.dot)
+        )
+    except PoolUnavailableError as err:
+        # --workers > 1 on a platform with no usable pool: fail loudly with
+        # the documented fallback instead of hanging or silently serialising.
+        raise SystemExit(f"error: {err}")
     print(result.summary())
     stats = result.stats
     print(
@@ -472,6 +481,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.8,
         help="speedup below which a case counts as a regression (default 0.8)",
+    )
+    bench_diff.add_argument(
+        "--tolerance",
+        dest="threshold",
+        type=float,
+        default=argparse.SUPPRESS,
+        help="alias for --threshold",
     )
     bench_diff.set_defaults(fn=_cmd_bench_diff)
     return parser

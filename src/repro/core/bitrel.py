@@ -57,6 +57,18 @@ _WORD_BITS = 64
 #: Below this the word-packed regime applies and the bigint sweep wins.
 _NUMPY_MIN_NODES = 65
 
+#: Per-process free list of released mutable row containers, keyed by row
+#: count: ``{n: [(succ, desc, anc), ...]}``.  The DPOR hot path derives
+#: one matrix per candidate extension (:meth:`RelationMatrix.copy_mutable`
+#: + ``add_edge``) and rejects most of them; recycling the rejected
+#: candidates' list triples (:meth:`RelationMatrix.release`) makes the
+#: steady state container-allocation-free.  Bounded per key.
+_SCRATCH: Dict[int, List[Tuple[list, list, list]]] = {}
+
+#: Ceiling on retained triples per row count — the pool exists to absorb
+#: the steady-state candidate churn, not to hoard.
+_SCRATCH_MAX = 128
+
 
 try:  # Python ≥ 3.10: C-speed popcount (used for the word_ops accounting).
     _popcount = int.bit_count
@@ -97,6 +109,11 @@ class RelationMatrix:
     #: (``repro.dpor.stats``/``scripts/profile_explore.py``) reports deltas
     #: of this counter.
     word_ops: int = 0
+
+    #: Row-buffer triples recycled from the scratch pool by :meth:`copy`
+    #: since interpreter start (the regression tests assert the DPOR hot
+    #: path actually recycles instead of allocating per candidate).
+    buffer_reuses: int = 0
 
     def __init__(self, nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]] = ()):
         self._nodes: Tuple[Node, ...] = tuple(nodes)
@@ -281,6 +298,36 @@ class RelationMatrix:
         dup._frozen = False
         return dup
 
+    def copy_mutable(self) -> "RelationMatrix":
+        """A copy whose rows are *already* mutable lists, recycled when possible.
+
+        :meth:`add_edge` widens packed rows to list-land before its first
+        mutation, so a copy made specifically to grow — one candidate
+        extension's closure, one saturation fork — pays copy *and* widen.
+        This goes straight to list rows and refills a triple from the
+        :data:`_SCRATCH` free list (see :meth:`release`) when one is
+        available: the hot path's reject-derive churn then runs without
+        allocating row containers at all.
+        """
+        dup = object.__new__(RelationMatrix)
+        dup._nodes = self._nodes
+        dup._index = self._index
+        free = _SCRATCH.get(len(self._nodes))
+        if free:
+            succ, desc, anc = free.pop()
+            succ[:] = self._succ
+            desc[:] = self._desc
+            anc[:] = self._anc
+            dup._succ, dup._desc, dup._anc = succ, desc, anc
+            RelationMatrix.buffer_reuses += 1
+        else:
+            dup._succ = list(self._succ)
+            dup._desc = list(self._desc)
+            dup._anc = list(self._anc)
+        dup._acyclic = self._acyclic
+        dup._frozen = False
+        return dup
+
     def freeze(self) -> "RelationMatrix":
         """Make :meth:`add_edge` raise on this instance (but not on copies).
 
@@ -290,6 +337,73 @@ class RelationMatrix:
         """
         self._frozen = True
         return self
+
+    def release(self) -> None:
+        """Return this matrix's row containers to the per-process scratch pool.
+
+        Only for matrices the caller **exclusively owns** — e.g. the
+        closure derived for a candidate extension the isolation check just
+        rejected (nothing else ever saw it; being frozen does not imply
+        sharing there).  List rows are handed to :data:`_SCRATCH` for the
+        next :meth:`copy_mutable` to refill, and this instance is poisoned
+        (its row slots become ``None``) so any later query raises instead
+        of silently reading recycled bits.  Idempotent; a no-op for
+        packed-array rows (those copies are already a plain memcpy).
+        """
+        if type(self._succ) is not list:
+            return
+        pool = _SCRATCH.setdefault(len(self._nodes), [])
+        if len(pool) < _SCRATCH_MAX:
+            pool.append((self._succ, self._desc, self._anc))
+        self._succ = self._desc = self._anc = None  # poison
+
+    # -- wire transport -----------------------------------------------------
+
+    def closure_rows(self) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+        """The maintained closure as plain int rows: ``(succ, desc, anc)``.
+
+        Row ``i``'s bit ``j`` refers to node index ``j`` — meaningful only
+        to a receiver that reconstructs the *same node order*, which is what
+        the wire encoding of :mod:`repro.core.wire` guarantees for a
+        history's transaction table.
+        """
+        return (tuple(self._succ), tuple(self._desc), tuple(self._anc))
+
+    @classmethod
+    def from_closure(
+        cls,
+        nodes: Iterable[Node],
+        rows: Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]],
+    ) -> "RelationMatrix":
+        """Rebuild a matrix from :meth:`closure_rows` without re-closing.
+
+        The inverse of :meth:`closure_rows` for wire transport: the closure
+        fixpoint was already computed on the sending side, so restoring it
+        is O(n) row copies instead of an O(edges · passes) sweep.  Does not
+        count as a :attr:`full_builds` construction — it builds nothing.
+        """
+        succ, desc, anc = rows
+        matrix = object.__new__(cls)
+        matrix._nodes = tuple(nodes)
+        matrix._index = {n: i for i, n in enumerate(matrix._nodes)}
+        n = len(matrix._nodes)
+        if len(matrix._index) != n:
+            raise ValueError("duplicate nodes in RelationMatrix universe")
+        if not (len(succ) == len(desc) == len(anc) == n):
+            raise ValueError(
+                f"closure rows for {len(succ)} nodes do not match universe of {n}"
+            )
+        if n <= _WORD_BITS:
+            matrix._succ = array("Q", succ)
+            matrix._desc = array("Q", desc)
+            matrix._anc = array("Q", anc)
+        else:
+            matrix._succ = list(succ)
+            matrix._desc = list(desc)
+            matrix._anc = list(anc)
+        matrix._acyclic = all(not (row >> i) & 1 for i, row in enumerate(desc))
+        matrix._frozen = False
+        return matrix
 
     # -- incremental growth -------------------------------------------------
 

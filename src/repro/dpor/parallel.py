@@ -4,48 +4,59 @@ The ``explore``/``exploreSwaps`` recursion decomposes perfectly: every
 continuation pushed by a step roots a *disjoint* subtree of the history
 space, and subtrees communicate nothing — only output histories and
 statistics flow back.  :class:`ParallelExplorer` exploits this to spread
-one exploration over a pool of worker processes while producing **exactly
-the same set of canonical output histories and the same counter totals**
-as the sequential :class:`~repro.dpor.explore.SwappingExplorer`:
+one exploration over the **persistent worker pool** of
+:mod:`repro.dpor.pool` while producing exactly the same set of canonical
+output histories and the same counter totals as the sequential
+:class:`~repro.dpor.explore.SwappingExplorer`:
 
 1. **Seeding.**  The coordinator expands the tree breadth-first (using the
    same :class:`~repro.dpor.explore.StepEngine` as the serial driver) until
    the frontier holds a few work items per worker — shallow nodes rooting
-   the largest subtrees.
+   the largest subtrees.  Seeding doubles as the tiny-tree probe
+   (``min_fork_steps``): explorations that die out inside the probe finish
+   serially and never pay pool startup.
 
-2. **Fan-out with work sharing.**  Frontier items are encoded with the
-   compact wire format of :mod:`repro.core.wire` and handed to the pool one
-   seed per task.  A worker explores its subtree depth-first with a local
-   LIFO stack; when the stack exceeds ``split_threshold`` it strips the
-   *bottom* (shallowest) half into an overflow list, and when its tick
-   budget expires it stops — both the overflow and any unfinished stack
-   come back to the coordinator as new frontier items, so skewed subtrees
-   rebalance across the pool instead of serialising on one process.
+2. **Fan-out over the persistent pool.**  Workers are spawned once per
+   ``run()`` and fed batches of seeds in the length-prefixed frames of
+   :mod:`repro.core.wire` — many seeds per message, one serialisation call
+   per frame, results streamed back incrementally.  A worker explores
+   depth-first under a ``task_budget`` time slice; shed stack halves
+   (work sharing) and unfinished remainders come back with its ``DONE``
+   frame and rebalance across the pool.  A
+   :class:`~repro.dpor.pool.GranularityController` coarsens the
+   seeds-per-frame batch until measured explore time dominates measured
+   transfer time.  Workers that crash mid-task are recovered: their seeds
+   are re-queued and their uncommitted partial results discarded, so the
+   equivalence guarantees survive ``kill -9``.
 
 3. **Deterministic merging.**  Outputs are deduplicated into one
    :class:`~repro.core.canonical.HistorySet` keyed by canonical history
    keys (subtrees are disjoint, so an optimal exploration stays optimal —
    no class is ever shipped twice), and per-worker
-   :class:`~repro.dpor.stats.ExplorationStats` are summed with
+   :class:`~repro.dpor.stats.ExplorationStats` are committed atomically at
+   each task's ``DONE`` and summed with
    :meth:`~repro.dpor.stats.ExplorationStats.merge`.  Because every node of
    the recursion tree is stepped exactly once by *somebody*, all additive
    counters (``outputs``, ``filtered``, ``blocked``, ``explore_calls``, …)
    equal the serial run's; only scheduling-dependent gauges
-   (``peak_stack``, ``peak_live_events``, ``seconds``) differ.  The arrival *order* of outputs is nondeterministic
-   — consumers needing a canonical order should sort by
+   (``peak_stack``, ``peak_live_events``, ``seconds``) differ.  The
+   arrival *order* of outputs is nondeterministic — consumers needing a
+   canonical order should sort by
    :meth:`~repro.core.history.History.canonical_key`.
 
-Timeouts are propagated: each task receives the time remaining at submit
+Timeouts are propagated: each task receives the time remaining at dispatch
 and its worker checks the deadline on **every** tick (the serial driver
 polls every 32), so a parallel run overshoots ``timeout`` by at most one
 step per worker; the merged stats report ``timed_out`` if any participant
 expired.
 
-The pool uses the ``fork`` start method so workers inherit the program and
-engine by memory sharing — programs may close over lambdas (the application
-workloads do), which do not pickle.  Where ``fork`` is unavailable
-(Windows), the coordinator degrades to exploring the frontier itself; the
-result is still exact, just sequential.
+The pool prefers the ``fork`` start method (workers inherit the program
+and engine by memory — programs may close over lambdas, which do not
+pickle) but is spawn-safe: on fork-less platforms the engine is pickled
+once at pool start.  Where neither works, requesting ``workers > 1``
+raises :class:`~repro.dpor.pool.PoolUnavailableError` **at construction**
+— a parallel request never hangs and never silently serialises; the
+documented fallback is ``workers=1``.
 """
 
 from __future__ import annotations
@@ -53,12 +64,10 @@ from __future__ import annotations
 import os
 import time
 from collections import deque
-from itertools import count
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional
 
 from ..core.canonical import HistorySet
 from ..core.history import History
-from ..core.wire import decode_items, encode_items
 from ..isolation.base import IsolationLevel
 from ..lang.program import Program
 from .explore import (
@@ -68,17 +77,24 @@ from .explore import (
     algorithm_name,
     validate_levels,
 )
+from .pool import PersistentPool, PoolUnavailableError, available_start_method
 from .stats import ExplorationStats
 
-#: Engines shared with forked workers, keyed by a per-run token.  Workers
-#: inherit the registry at fork time and look their engine up by the token
-#: in each task payload, so concurrent ParallelExplorer runs in one process
-#: (e.g. from a threaded harness) cannot cross-wire configurations.
-_ENGINES: Dict[int, StepEngine] = {}
-_ENGINE_TOKENS = count()
+__all__ = [
+    "ParallelExplorer",
+    "PoolUnavailableError",
+    "resolve_workers",
+]
 
 
 def _forkable() -> bool:
+    """Whether the ``fork`` start method exists on this platform.
+
+    Used by consumers that are strictly fork-only (e.g. the sharded
+    monitor, whose shard state cannot be pickled); the exploration pool
+    itself is spawn-safe and probes via
+    :func:`~repro.dpor.pool.available_start_method` instead.
+    """
     import multiprocessing
 
     return "fork" in multiprocessing.get_all_start_methods()
@@ -93,58 +109,6 @@ def resolve_workers(workers: int) -> int:
     return workers
 
 
-def _subtree_task(payload: Tuple) -> Tuple:
-    """Explore (part of) a subtree inside a worker process.
-
-    Returns ``(pid, stats, outputs, returned_frontier, timed_out)`` where
-    ``returned_frontier`` holds wire-encoded work items the worker gave
-    back for rebalancing (stack overflow and/or tick-budget remainder).
-    """
-    token, items_wire, task_ticks, split_threshold, time_left, ship_outputs = payload
-    engine = _ENGINES.get(token)
-    assert engine is not None, "worker started without an engine (fork-only pool)"
-    deadline = time.monotonic() + time_left if time_left is not None else None
-    stats = ExplorationStats()
-    stack: List[WorkItem] = decode_items(items_wire)
-    live_events = sum(item[1].history.event_count() for item in stack)
-    overflow: List[WorkItem] = []
-    outputs: List[History] = []
-    ticks = 0
-    timed_out = False
-    while stack:
-        # Deadline first, every tick: a parallel run must honor the overall
-        # timeout within one step granularity (the coordinator cannot
-        # interrupt a busy worker).
-        if deadline is not None and time.monotonic() > deadline:
-            timed_out = True
-            stack.clear()
-            break
-        ticks += 1
-        if ticks > task_ticks:
-            break  # return the remainder for rebalancing
-        kind, oh = stack.pop()
-        live_events -= oh.history.event_count()
-        pushed, outs = engine.step(oh, kind, stats)
-        if ship_outputs:
-            outputs.extend(outs)
-        stack.extend(reversed(pushed))
-        live_events += sum(item[1].history.event_count() for item in pushed)
-        if len(stack) > stats.peak_stack:
-            stats.peak_stack = len(stack)
-        if live_events > stats.peak_live_events:
-            stats.peak_live_events = live_events
-        if len(stack) > split_threshold:
-            # Work sharing: hand the *shallowest* half back — bottom-of-stack
-            # entries root the largest remaining subtrees, exactly what idle
-            # workers want.
-            cut = len(stack) // 2
-            overflow.extend(stack[:cut])
-            del stack[:cut]
-            live_events = sum(item[1].history.event_count() for item in stack)
-    returned = encode_items(overflow + stack) if (overflow or stack) and not timed_out else []
-    return (os.getpid(), stats, outputs if ship_outputs else [], returned, timed_out)
-
-
 class ParallelExplorer:
     """One configured multiprocess run of the swapping-based exploration.
 
@@ -155,15 +119,17 @@ class ParallelExplorer:
     ----------
     workers:
         Worker process count; ``0`` means ``os.cpu_count()``.  With ``1``
-        (or where ``fork`` is unavailable) no pool is created and the
-        coordinator explores everything itself — same results, one
-        process.
+        no pool is created and the coordinator explores everything itself
+        — same results, one process.  With ``N > 1`` on a platform where
+        no pool can start, construction raises
+        :class:`~repro.dpor.pool.PoolUnavailableError` (fail fast — never
+        hang, never silently serialise).
     seed_factor:
         Seed the frontier with about ``seed_factor`` work items per worker
         before fanning out.
     task_ticks:
-        Steps a worker performs per task before returning its remaining
-        stack for rebalancing.
+        Hard cap on steps per task (rebalancing granularity backstop; the
+        ``task_budget`` time slice usually triggers first).
     split_threshold:
         Local stack size beyond which a worker sheds its shallowest half
         back to the coordinator.
@@ -171,9 +137,19 @@ class ParallelExplorer:
         Steps the coordinator explores itself before committing to the
         pool (default: ``split_threshold``).  Small programs' whole trees
         die out within the probe, so they finish serially instead of
-        paying pool setup plus a wire-encoded ``History`` per near-leaf
-        seed — the measured fix for tiny-seed fan-out overhead.  ``0``
-        restores eager fan-out.
+        paying pool startup plus a wire-encoded ``History`` per near-leaf
+        seed.  ``0`` restores eager fan-out.
+    batch_size:
+        Seeds per task frame.  ``0`` (default) lets the
+        :class:`~repro.dpor.pool.GranularityController` adapt the batch
+        from measured explore/transfer times; a positive value pins it.
+    task_budget:
+        Target seconds of exploration per task (the worker's time slice,
+        default 0.05).  Larger values amortise more transfer per frame;
+        smaller values rebalance skewed subtrees faster.
+    start_method:
+        Multiprocessing start method override (``"fork"``/``"spawn"``/
+        ``"forkserver"``); ``None`` picks the best available.
     """
 
     def __init__(
@@ -189,9 +165,13 @@ class ParallelExplorer:
         restrict_swaps: bool = True,
         workers: int = 0,
         seed_factor: int = 4,
-        task_ticks: int = 2048,
+        task_ticks: int = 16384,
         split_threshold: int = 128,
         min_fork_steps: Optional[int] = None,
+        batch_size: int = 0,
+        task_budget: float = 0.05,
+        start_method: Optional[str] = None,
+        _chaos_kill_after: Optional[int] = None,
     ):
         validate_levels(level, valid_level, allow_any_level)
         self.program = program
@@ -207,6 +187,9 @@ class ParallelExplorer:
         self.task_ticks = task_ticks
         self.split_threshold = split_threshold
         self.min_fork_steps = split_threshold if min_fork_steps is None else min_fork_steps
+        self.batch_size = batch_size
+        self.task_budget = task_budget
+        self._chaos_kill_after = _chaos_kill_after
         self.engine = StepEngine(
             program,
             level,
@@ -214,11 +197,25 @@ class ParallelExplorer:
             check_invariants=check_invariants,
             restrict_swaps=restrict_swaps,
         )
+        # Fail fast: a multi-worker request on a platform with no usable
+        # pool is a configuration error the caller must hear about now,
+        # not a hang (or a silent serial run) at fan-out time.
+        self.start_method = (
+            available_start_method(self.engine, start_method)
+            if self.workers > 1
+            else None
+        )
         self.stats = ExplorationStats()
         self.histories: Optional[HistorySet] = HistorySet() if collect_histories else None
         #: Per-participant stats: key 0 is the coordinator's seed phase,
         #: other keys are worker process ids.
         self.worker_stats: Dict[int, ExplorationStats] = {}
+        #: The pool of the most recent :meth:`run` (telemetry: crashes,
+        #: respawns, frames sent, final batch size); ``None`` before the
+        #: first run or with ``workers=1``.  When the seed-phase probe
+        #: finishes the tree serially the pool exists but never started
+        #: (``tasks_dispatched == 0``).
+        self.pool: Optional[PersistentPool] = None
 
     @property
     def algorithm_name(self) -> str:
@@ -232,12 +229,17 @@ class ParallelExplorer:
         deadline = start + self.timeout if self.timeout else None
         seed_stats = ExplorationStats()
         self.worker_stats = {0: seed_stats}
-        frontier = self._seed(seed_stats, deadline)
-        if frontier and not seed_stats.timed_out:
-            if _forkable() and self.workers > 1:
-                self._fan_out(frontier, deadline)
-            else:
-                self._drain_serially(frontier, seed_stats, deadline)
+        pool = self._make_pool() if self.workers > 1 else None
+        try:
+            frontier = self._seed(seed_stats, deadline, pool)
+            if frontier and not seed_stats.timed_out:
+                if pool is not None:
+                    self._fan_out(pool, frontier, deadline, seed_stats)
+                else:
+                    self._drain_serially(frontier, seed_stats, deadline)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         merged = ExplorationStats()
         for stats in self.worker_stats.values():
             merged = merged.merge(stats)
@@ -254,20 +256,26 @@ class ParallelExplorer:
     # -- phases -------------------------------------------------------------
 
     def _seed(
-        self, stats: ExplorationStats, deadline: Optional[float]
+        self,
+        stats: ExplorationStats,
+        deadline: Optional[float],
+        pool: Optional[PersistentPool] = None,
     ) -> Deque[WorkItem]:
         """Breadth-first prefix expansion until the frontier can feed the pool.
 
         Doubles as the tiny-tree probe: with a pool configured, expansion
         continues for at least :attr:`min_fork_steps` steps even once the
         frontier is wide enough.  An exploration whose tree dies out inside
-        the probe was measurably too small to amortise pool setup and
-        per-seed ``History`` re-encoding; it completes right here and
-        :meth:`run` never fans out.  Trees that outlive the probe have
-        proven at least ``min_fork_steps`` of work and get the pool.
+        the probe was measurably too small to amortise pool startup and
+        per-seed ``History`` re-encoding; it completes right here and the
+        pool never starts.  Trees that outlive half the probe have all but
+        proven they will fan out, so the pool is started *there* — worker
+        processes boot while the coordinator is still seeding, hiding pool
+        startup behind exploration the coordinator must do anyway.
         """
         target = max(self.workers * self.seed_factor, 1)
-        probe = self.min_fork_steps if self.workers > 1 and _forkable() else 0
+        probe = self.min_fork_steps if self.workers > 1 else 0
+        start_at = max(probe // 2, 1) if pool is not None else None
         steps = 0
         frontier: Deque[WorkItem] = deque([self.engine.initial_item()])
         live_events = frontier[0][1].history.event_count()
@@ -277,6 +285,8 @@ class ParallelExplorer:
                 frontier.clear()
                 break
             steps += 1
+            if steps == start_at:
+                pool.start()
             kind, oh = frontier.popleft()
             live_events -= oh.history.event_count()
             pushed, outputs = self.engine.step(oh, kind, stats)
@@ -290,62 +300,39 @@ class ParallelExplorer:
                 self._emit(history)
         return frontier
 
-    def _fan_out(self, frontier: Deque[WorkItem], deadline: Optional[float]) -> None:
-        """Distribute frontier subtrees over a fork pool with work sharing."""
-        import multiprocessing
-        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    def _make_pool(self) -> PersistentPool:
+        pool = PersistentPool(
+            self.engine,
+            self.workers,
+            start_method=self.start_method,
+            task_budget=self.task_budget,
+            task_ticks=self.task_ticks,
+            split_threshold=self.split_threshold,
+            batch_size=self.batch_size,
+            chaos_exit_after=self._chaos_kill_after,
+        )
+        self.pool = pool
+        return pool
 
+    def _fan_out(
+        self,
+        pool: PersistentPool,
+        frontier: Deque[WorkItem],
+        deadline: Optional[float],
+        seed_stats: ExplorationStats,
+    ) -> None:
+        """Distribute frontier subtrees over the persistent worker pool."""
         ship_outputs = self.collect_histories or self.on_output is not None
-        pending: Deque[Tuple] = deque(
-            (kind, wire) for kind, wire in encode_items(list(frontier))
+        timed_out = pool.explore(
+            list(frontier),
+            deadline,
+            ship_outputs,
+            self._emit,
+            self.worker_stats,
+            seed_stats,
         )
-        token = next(_ENGINE_TOKENS)
-        _ENGINES[token] = self.engine
-        executor = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=multiprocessing.get_context("fork"),
-        )
-        try:
-            timed_out = False
-            in_flight = set()
-            while pending or in_flight:
-                now = time.monotonic()
-                if deadline is not None and now > deadline:
-                    timed_out = True
-                if timed_out:
-                    pending.clear()  # stop feeding; running tasks self-expire
-                while pending and len(in_flight) < self.workers:
-                    item = pending.popleft()
-                    time_left = None if deadline is None else max(deadline - now, 0.0)
-                    in_flight.add(
-                        executor.submit(
-                            _subtree_task,
-                            (
-                                token,
-                                [item],
-                                self.task_ticks,
-                                self.split_threshold,
-                                time_left,
-                                ship_outputs,
-                            ),
-                        )
-                    )
-                if not in_flight:
-                    break
-                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    pid, stats, outputs, returned, worker_timed_out = future.result()
-                    bucket = self.worker_stats.get(pid)
-                    self.worker_stats[pid] = stats if bucket is None else bucket.merge(stats)
-                    timed_out = timed_out or worker_timed_out
-                    pending.extend(returned)
-                    for history in outputs:
-                        self._emit(history)
-            if timed_out:
-                self.worker_stats[0].timed_out = True
-        finally:
-            _ENGINES.pop(token, None)
-            executor.shutdown(wait=True)
+        if timed_out:
+            seed_stats.timed_out = True
 
     def _drain_serially(
         self,
@@ -353,7 +340,7 @@ class ParallelExplorer:
         stats: ExplorationStats,
         deadline: Optional[float],
     ) -> None:
-        """No-fork fallback: finish the exploration on the coordinator."""
+        """``workers=1``: finish the exploration on the coordinator."""
         self.engine.drain(
             list(frontier), stats, self._emit, deadline=deadline, poll_every=1
         )

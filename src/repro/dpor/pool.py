@@ -1,0 +1,609 @@
+"""Persistent worker runtime for the parallel exploration.
+
+The first-generation parallel driver paid its overhead per *task*: every
+frontier seed was pickled on its own, handed to a fork-pool future, and the
+pool itself was rebuilt around every fan-out.  On the benchmark box that
+overhead ate the entire parallel win (0.87–0.94x at 2–4 workers).  This
+module replaces it with a runtime whose costs are paid once per **run**:
+
+* **Long-lived workers.**  :class:`PersistentPool` spawns ``workers``
+  processes once and feeds them over duplex pipes until the exploration is
+  drained.  Workers are *spawn-safe*: where ``fork`` is available the
+  engine is inherited by memory (programs may close over lambdas — the
+  application workloads do), otherwise the engine is pickled once at pool
+  start and shipped to each worker.  Where neither works the pool refuses
+  to start with :class:`PoolUnavailableError` instead of hanging or
+  silently serialising.
+
+* **Batched frames.**  Seeds travel many-per-message in the
+  length-prefixed frames of :mod:`repro.core.wire` — one serialisation
+  call per batch of plain wire tuples, no per-``History`` pickle.  Results
+  stream back incrementally: long tasks flush output histories in
+  intermediate ``OUTPUT`` frames, and every task ends with one ``DONE``
+  frame carrying statistics and the unfinished remainder of the worker's
+  stack (work sharing).
+
+* **Adaptive granularity.**  A :class:`GranularityController` extends the
+  seed phase's ``min_fork_steps`` probe into a running feedback loop: it
+  tracks measured per-task explore time against measured frame transfer
+  time and coarsens the seeds-per-frame batch until explore time dominates
+  (or thins it when one task overshoots its ``task_budget`` time slice).
+
+* **Crash recovery.**  The coordinator remembers exactly which seeds each
+  worker holds.  Outputs and statistics are *committed only at* ``DONE``;
+  if a worker dies mid-task (its pipe drops or its sentinel fires), the
+  staged partial results are discarded and the seeds are re-queued for the
+  surviving workers — nothing is lost and nothing is double-counted, so
+  the serial ≡ parallel equivalence holds even under ``kill -9``.  Dead
+  workers are respawned up to a budget; if the whole pool is lost the
+  coordinator drains the remaining frontier itself (exact, just slower).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from collections import deque
+from itertools import count
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.history import History
+from ..core.wire import (
+    decode_frame,
+    decode_items,
+    encode_frame,
+    encode_items,
+    history_from_wire,
+    history_to_wire,
+)
+from .explore import StepEngine, WorkItem
+from .stats import ExplorationStats
+
+#: Engines shared with forked workers, keyed by a per-pool token.  Workers
+#: inherit the registry at fork time and look their engine up by token, so
+#: concurrent pools in one process cannot cross-wire configurations.
+_ENGINES: Dict[int, StepEngine] = {}
+_ENGINE_TOKENS = count()
+
+# Frame tags of the pool protocol (one byte each; see repro.core.wire).
+TAG_TASK = 1  #: coordinator → worker: (meta, seed batch)
+TAG_OUTPUT = 2  #: worker → coordinator: partial outputs of the running task
+TAG_DONE = 3  #: worker → coordinator: task finished (stats, remainder, ...)
+TAG_SHUTDOWN = 4  #: coordinator → worker: exit the serve loop
+
+#: Flush streamed outputs to the coordinator every this many histories, so
+#: a long task's results arrive incrementally instead of in one giant DONE.
+OUTPUT_FLUSH = 256
+
+#: Ceiling for the adaptive seeds-per-frame batch.
+MAX_BATCH = 1024
+
+#: Slice stretch while the coordinator's queue is deep.  A worker's
+#: remainder exists for *rebalancing*; when the pending queue can feed
+#: every idle worker anyway, forcing a slice end just pays the remainder
+#: round trip for nothing.  Deep queue → slices of ``task_budget`` times
+#: this factor; the moment a dispatch drains the queue, slices drop back
+#: to ``task_budget`` so the endgame rebalances at fine grain.
+LONG_SLICE_FACTOR = 8.0
+
+
+class PoolUnavailableError(RuntimeError):
+    """``workers > 1`` was requested but no worker pool can start here.
+
+    Raised *eagerly* (at explorer construction) so a parallel request
+    never hangs or silently degrades to serial: the platform offers no
+    ``fork``, and the exploration engine cannot be pickled for a
+    ``spawn``/``forkserver`` pool.  Re-run with ``workers=1`` (the
+    documented fallback) or make the program picklable.
+    """
+
+
+def available_start_method(engine: StepEngine, preferred: Optional[str] = None) -> str:
+    """The multiprocessing start method the pool will use, or raise.
+
+    Preference order: ``fork`` (engine inherited by memory — works for
+    programs closing over lambdas), then ``spawn``/``forkserver`` — which
+    require the engine to survive one pickle round trip, probed *here* so
+    the failure is an immediate, explainable error rather than a crash
+    inside a half-started pool.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    candidates = [preferred] if preferred else ["fork", "spawn", "forkserver"]
+    for method in candidates:
+        if method not in methods:
+            continue
+        if method == "fork":
+            return method
+        try:
+            pickle.dumps(engine)
+            return method
+        except Exception as err:
+            raise PoolUnavailableError(
+                f"worker pool cannot start with the {method!r} start method: the "
+                f"exploration engine does not pickle ({err}); programs built from "
+                f"Python closures need a platform with fork, or workers=1"
+            ) from None
+    raise PoolUnavailableError(
+        f"worker pool cannot start: no usable multiprocessing start method "
+        f"(wanted {candidates}, platform offers {methods}); run with workers=1"
+    )
+
+
+class GranularityController:
+    """Running seeds-per-frame controller (the ``min_fork_steps`` probe, live).
+
+    Tracks exponentially-weighted averages of per-task explore seconds and
+    per-frame transfer seconds (encode + decode, both sides measured) and
+    steers the batch size toward *explore time ≫ transfer time* under the
+    ``task_budget`` time slice:
+
+    * grow (×2, up to :data:`MAX_BATCH`) while tasks finish in under half
+      the budget or transfer overhead is within 4x of explore time —
+      seeds are too fine to amortise a frame;
+    * shrink (÷2, down to 1) when tasks overshoot twice the budget —
+      coarse batches hurt rebalancing and timeout granularity.
+
+    With ``fixed`` set the controller is pinned (the knob the property
+    tests use to force the batched protocol into specific shapes).
+    """
+
+    #: EWMA smoothing factor for the two running measurements.
+    ALPHA = 0.3
+    #: Transfer-dominance ratio: coarsen until explore > 4x transfer.
+    TRANSFER_FACTOR = 4.0
+
+    def __init__(self, task_budget: float, fixed: int = 0):
+        self.task_budget = task_budget
+        self.fixed = fixed
+        self.batch = fixed if fixed > 0 else 1
+        self.explore_avg: Optional[float] = None
+        self.transfer_avg: Optional[float] = None
+
+    def record(
+        self, explore_s: float, transfer_s: float, slice_budget: Optional[float] = None
+    ) -> None:
+        """Fold one completed task's measurements into the averages.
+
+        ``slice_budget`` is the time slice the task actually ran under
+        (the coordinator stretches slices while its queue is deep); the
+        grow/shrink decisions compare against it, not the base budget, so
+        a long slice is not misread as an oversized batch.
+        """
+        if slice_budget is None:
+            slice_budget = self.task_budget
+        if self.explore_avg is None:
+            self.explore_avg = explore_s
+            self.transfer_avg = transfer_s
+        else:
+            self.explore_avg += self.ALPHA * (explore_s - self.explore_avg)
+            self.transfer_avg += self.ALPHA * (transfer_s - self.transfer_avg)
+        if self.fixed > 0:
+            return
+        if explore_s > 2.0 * slice_budget and self.batch > 1:
+            self.batch = max(1, self.batch // 2)
+        elif (
+            explore_s < 0.5 * slice_budget
+            or self.transfer_avg * self.TRANSFER_FACTOR > self.explore_avg
+        ):
+            self.batch = min(MAX_BATCH, self.batch * 2)
+
+    def next_batch(self, pending: int, idle_workers: int) -> int:
+        """Seeds for the next frame: the controller's batch, capped so the
+        currently idle workers all get something to chew on."""
+        share = max(1, -(-pending // max(idle_workers, 1)))  # ceil div
+        return max(1, min(self.batch, share))
+
+
+def _resolve_engine(token: int, engine_bytes: Optional[bytes]) -> StepEngine:
+    if engine_bytes is not None:
+        return pickle.loads(engine_bytes)
+    engine = _ENGINES.get(token)
+    assert engine is not None, "forked worker started without a registered engine"
+    return engine
+
+
+def _worker_main(
+    conn,
+    token: int,
+    engine_bytes: Optional[bytes],
+    chaos_exit_after: Optional[int],
+) -> None:
+    """Serve loop of one persistent worker: TASK in, OUTPUT*/DONE out.
+
+    ``chaos_exit_after`` is the crash-recovery test hook: after fully
+    exploring that many tasks the worker dies with ``os._exit`` *instead
+    of sending DONE* — the maximally adversarial crash (all work done,
+    none of it committed), which the coordinator must absorb by
+    re-queueing the task without double-counting anything.
+    """
+    engine = _resolve_engine(token, engine_bytes)
+    tasks_served = 0
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            return  # coordinator went away; nothing to clean up
+        tag, payload = decode_frame(frame)
+        if tag == TAG_SHUTDOWN:
+            return
+        assert tag == TAG_TASK, f"worker received unexpected frame tag {tag}"
+        meta, items_wire = payload
+        task_id, time_left, task_budget, task_ticks, split_threshold, ship_outputs = meta
+        t0 = time.perf_counter()
+        stack: List[WorkItem] = decode_items(items_wire)
+        decode_s = time.perf_counter() - t0
+        deadline = time.monotonic() + time_left if time_left is not None else None
+        budget_end = time.perf_counter() + task_budget if task_budget else None
+        stats = ExplorationStats()
+        overflow: List[WorkItem] = []
+        outputs: List[History] = []
+        live_events = sum(item[1].history.event_count() for item in stack)
+        ticks = 0
+        timed_out = False
+        explore_t0 = time.perf_counter()
+        while stack:
+            # Global deadline first, every tick: the coordinator cannot
+            # interrupt a busy worker, so overshoot must stay one step.
+            if deadline is not None and time.monotonic() > deadline:
+                timed_out = True
+                stack.clear()
+                break
+            ticks += 1
+            if ticks > task_ticks or (
+                budget_end is not None and time.perf_counter() > budget_end
+            ):
+                break  # time slice over: return the remainder for rebalancing
+            kind, oh = stack.pop()
+            live_events -= oh.history.event_count()
+            pushed, outs = engine.step(oh, kind, stats)
+            if ship_outputs:
+                outputs.extend(outs)
+                if len(outputs) >= OUTPUT_FLUSH:
+                    conn.send_bytes(
+                        encode_frame(
+                            TAG_OUTPUT,
+                            (task_id, [history_to_wire(h) for h in outputs]),
+                        )
+                    )
+                    outputs = []
+            stack.extend(reversed(pushed))
+            live_events += sum(item[1].history.event_count() for item in pushed)
+            if len(stack) > stats.peak_stack:
+                stats.peak_stack = len(stack)
+            if live_events > stats.peak_live_events:
+                stats.peak_live_events = live_events
+            if len(stack) > split_threshold:
+                # Work sharing: shed the *shallowest* half — bottom-of-stack
+                # entries root the largest remaining subtrees, exactly what
+                # idle workers want.
+                cut = len(stack) // 2
+                overflow.extend(stack[:cut])
+                del stack[:cut]
+                live_events = sum(item[1].history.event_count() for item in stack)
+        explore_s = time.perf_counter() - explore_t0
+        tasks_served += 1
+        if chaos_exit_after is not None and tasks_served >= chaos_exit_after:
+            os._exit(17)  # crash-recovery hook: die before committing
+        t1 = time.perf_counter()
+        returned = (
+            encode_items(overflow + stack) if (overflow or stack) and not timed_out else []
+        )
+        outputs_wire = [history_to_wire(h) for h in outputs] if ship_outputs else []
+        done = encode_frame(
+            TAG_DONE,
+            (
+                task_id,
+                os.getpid(),
+                stats,
+                outputs_wire,
+                returned,
+                timed_out,
+                explore_s,
+                decode_s + (time.perf_counter() - t1),
+            ),
+        )
+        try:
+            conn.send_bytes(done)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """Coordinator-side handle: process, pipe, and the in-flight task."""
+
+    __slots__ = (
+        "process",
+        "conn",
+        "task_id",
+        "inflight",
+        "staged",
+        "sent_at",
+        "slice_budget",
+    )
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.task_id: Optional[int] = None
+        #: Wire items of the in-flight task — the re-queue unit on crash.
+        self.inflight: List[Tuple] = []
+        #: OUTPUT-frame histories staged until the task's DONE commits them.
+        self.staged: List[History] = []
+        self.sent_at: float = 0.0
+        #: The time slice the in-flight task was granted (for the
+        #: granularity controller's utilisation normalisation).
+        self.slice_budget: float = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.task_id is None
+
+
+class PersistentPool:
+    """Long-lived worker processes serving one exploration run.
+
+    Created (and torn down) once per :meth:`ParallelExplorer.run` fan-out;
+    every task reuses the same processes and pipes.  See the module
+    docstring for the protocol.
+    """
+
+    def __init__(
+        self,
+        engine: StepEngine,
+        workers: int,
+        start_method: Optional[str] = None,
+        task_budget: float = 0.05,
+        task_ticks: int = 16384,
+        split_threshold: int = 128,
+        batch_size: int = 0,
+        max_respawns: Optional[int] = None,
+        chaos_exit_after: Optional[int] = None,
+    ):
+        self.engine = engine
+        self.workers = workers
+        self.start_method = available_start_method(engine, start_method)
+        self.task_budget = task_budget
+        self.task_ticks = task_ticks
+        self.split_threshold = split_threshold
+        self.controller = GranularityController(task_budget, fixed=batch_size)
+        self.max_respawns = workers if max_respawns is None else max_respawns
+        self.respawns = 0
+        self.crashes = 0
+        self.tasks_dispatched = 0
+        self.frames_sent = 0
+        self._chaos_exit_after = chaos_exit_after
+        self._token = next(_ENGINE_TOKENS)
+        self._engine_bytes: Optional[bytes] = None
+        self._ctx = None
+        self._alive: List[_Worker] = []
+        self._task_ids = count()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context(self.start_method)
+        if self.start_method != "fork":
+            self._engine_bytes = pickle.dumps(self.engine)
+        else:
+            _ENGINES[self._token] = self.engine
+        chaos = self._chaos_exit_after
+        for _ in range(self.workers):
+            self._alive.append(self._spawn(chaos))
+            chaos = None  # the chaos hook only ever arms the first worker
+
+    def _spawn(self, chaos_exit_after: Optional[int]) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._token, self._engine_bytes, chaos_exit_after),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def shutdown(self) -> None:
+        for worker in self._alive:
+            try:
+                worker.conn.send_bytes(encode_frame(TAG_SHUTDOWN, None))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._alive:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+        self._alive = []
+        _ENGINES.pop(self._token, None)
+
+    # -- the drive loop -----------------------------------------------------
+
+    def explore(
+        self,
+        items: List[WorkItem],
+        deadline: Optional[float],
+        ship_outputs: bool,
+        emit: Callable[[History], None],
+        worker_stats: Dict[int, ExplorationStats],
+        coordinator_stats: ExplorationStats,
+    ) -> bool:
+        """Drain the frontier through the pool; returns ``timed_out``.
+
+        ``worker_stats`` collects per-pid statistics (committed at DONE);
+        ``coordinator_stats`` absorbs any serially-drained remainder if the
+        entire pool is lost.  The output-history callback ``emit`` runs in
+        the coordinator, in task-commit order.
+        """
+        from multiprocessing.connection import wait as conn_wait
+
+        pending: Deque[Tuple] = deque(encode_items(items))
+        timed_out = False
+        while pending or any(not w.idle for w in self._alive):
+            now = time.monotonic()
+            if deadline is not None and now > deadline:
+                timed_out = True
+            if timed_out:
+                pending.clear()  # stop feeding; running tasks self-expire
+            idle = [w for w in self._alive if w.idle]
+            while pending and idle:
+                worker = idle.pop()
+                n = min(
+                    self.controller.next_batch(len(pending), len(idle) + 1),
+                    len(pending),
+                )
+                batch = [pending.popleft() for _ in range(n)]
+                self._dispatch(worker, batch, pending, deadline, ship_outputs)
+            busy = [w for w in self._alive if not w.idle]
+            if not busy:
+                if pending:
+                    # Whole pool lost and respawns exhausted: finish on the
+                    # coordinator — exactness over speed.
+                    self._drain_serially(pending, deadline, emit, coordinator_stats)
+                    return coordinator_stats.timed_out or timed_out
+                break
+            ready = conn_wait(
+                [w.conn for w in busy] + [w.process.sentinel for w in busy],
+                timeout=1.0,
+            )
+            ready_set = set(ready)
+            for worker in list(busy):
+                if worker.conn in ready_set:
+                    if self._receive(worker, pending, emit, worker_stats):
+                        timed_out = True
+                        pending.clear()
+                    continue
+                if worker.process.sentinel in ready_set and not worker.process.is_alive():
+                    self._recover(worker, pending)
+        return timed_out
+
+    # -- protocol steps ------------------------------------------------------
+
+    def _dispatch(
+        self,
+        worker: _Worker,
+        batch: List[Tuple],
+        pending: Deque[Tuple],
+        deadline: Optional[float],
+        ship_outputs: bool,
+    ) -> None:
+        task_id = next(self._task_ids)
+        time_left = (
+            None if deadline is None else max(deadline - time.monotonic(), 0.0)
+        )
+        # Remainders and shed halves exist for rebalancing.  While the
+        # queue still holds work for whoever idles next, a slice end or a
+        # stack shed buys nothing but wire churn (and every item crossing
+        # the wire loses its adopted relation-matrix caches) — stretch the
+        # slice and disable shedding.  The dispatch that drains the queue
+        # (and everything after it) runs at base grain.
+        deep = bool(pending)
+        slice_budget = self.task_budget * (LONG_SLICE_FACTOR if deep else 1.0)
+        split = self.task_ticks if deep else self.split_threshold
+        meta = (
+            task_id,
+            time_left,
+            slice_budget,
+            self.task_ticks,
+            split,
+            ship_outputs,
+        )
+        worker.task_id = task_id
+        worker.inflight = batch
+        worker.staged = []
+        worker.sent_at = time.perf_counter()
+        worker.slice_budget = slice_budget
+        try:
+            worker.conn.send_bytes(encode_frame(TAG_TASK, (meta, batch)))
+        except (BrokenPipeError, OSError):
+            # Worker died between tasks; recover exactly as for a mid-task
+            # crash — the batch goes back to the queue.
+            self._recover(worker, pending)
+            return
+        self.tasks_dispatched += 1
+        self.frames_sent += 1
+
+    def _receive(
+        self,
+        worker: _Worker,
+        pending: Deque[Tuple],
+        emit: Callable[[History], None],
+        worker_stats: Dict[int, ExplorationStats],
+    ) -> bool:
+        """Read one frame from a busy worker; returns ``True`` on timeout."""
+        try:
+            frame = worker.conn.recv_bytes()
+        except (EOFError, OSError):
+            self._recover(worker, pending)
+            return False
+        tag, payload = decode_frame(frame)
+        if tag == TAG_OUTPUT:
+            task_id, outputs_wire = payload
+            if task_id == worker.task_id:
+                worker.staged.extend(history_from_wire(w) for w in outputs_wire)
+            return False
+        assert tag == TAG_DONE, f"coordinator received unexpected frame tag {tag}"
+        (
+            task_id,
+            pid,
+            stats,
+            outputs_wire,
+            returned,
+            task_timed_out,
+            explore_s,
+            transfer_s,
+        ) = payload
+        assert task_id == worker.task_id, "DONE for a task this worker does not hold"
+        # Commit point: everything about the task becomes visible at once.
+        self.controller.record(explore_s, transfer_s, worker.slice_budget)
+        bucket = worker_stats.get(pid)
+        worker_stats[pid] = stats if bucket is None else bucket.merge(stats)
+        for history in worker.staged:
+            emit(history)
+        for wire in outputs_wire:
+            emit(history_from_wire(wire))
+        pending.extend(returned)
+        worker.task_id = None
+        worker.inflight = []
+        worker.staged = []
+        return task_timed_out
+
+    def _recover(self, worker: _Worker, pending: Deque[Tuple]) -> None:
+        """A worker died: re-queue its seeds, drop its staged results.
+
+        Nothing the dead worker did was committed (commit happens only in
+        :meth:`_receive` on DONE), so re-exploring the whole batch keeps
+        all additive counters and the output set exactly equal to a serial
+        run — crash recovery cannot double-count.
+        """
+        self.crashes += 1
+        pending.extend(worker.inflight)
+        worker.task_id = None
+        worker.inflight = []
+        worker.staged = []
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+        if worker in self._alive:
+            self._alive.remove(worker)
+        if self.respawns < self.max_respawns:
+            self.respawns += 1
+            self._alive.append(self._spawn(None))
+
+    def _drain_serially(
+        self,
+        pending: Deque[Tuple],
+        deadline: Optional[float],
+        emit: Callable[[History], None],
+        stats: ExplorationStats,
+    ) -> None:
+        items = decode_items(list(pending))
+        pending.clear()
+        self.engine.drain(items, stats, emit, deadline=deadline, poll_every=1)

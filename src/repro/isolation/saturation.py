@@ -317,7 +317,7 @@ class IncrementalSaturation:
         """
         dup = object.__new__(IncrementalSaturation)
         dup.axioms = self.axioms
-        dup.matrix = self.matrix.copy()
+        dup.matrix = self.matrix.copy_mutable()
         dup._pending = list(self._pending)
         dup._drop_unfired = self._drop_unfired
         dup._prior_source = self._prior_source

@@ -31,6 +31,18 @@ class Transaction:
     def __repr__(self) -> str:
         return f"Transaction({self.name!r}, {len(self.body)} instrs)"
 
+    # The executor caches its compiled instruction form on the instance
+    # (``_compiled``, a tree of closures).  Closures don't pickle, and the
+    # receiver recompiles lazily anyway, so pickling ships only the AST —
+    # this is what lets the worker pool's spawn path move a program whose
+    # *source* is picklable even after it has been executed locally.
+    def __getstate__(self):
+        return {"name": self.name, "body": self.body}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "name", state["name"])
+        object.__setattr__(self, "body", state["body"])
+
 
 def static_variables(body: Iterable[Instr]) -> Set[str]:
     """Global-variable names appearing literally in a body."""

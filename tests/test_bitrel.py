@@ -371,3 +371,63 @@ class TestCompaction:
         matrix = RelationMatrix(range(2), [(0, 1)]).freeze()
         with pytest.raises(ValueError):
             matrix.retract_edges([(0, 1)])
+
+
+class TestScratchRecycling:
+    """copy_mutable/release: the hot path's container free list."""
+
+    def test_copy_mutable_answers_like_copy(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            n, edges, _adj = random_graph(rng)
+            matrix = RelationMatrix(range(n), edges)
+            mutable = matrix.copy_mutable()
+            for a in range(n):
+                for b in range(n):
+                    assert mutable.reaches(a, b) == matrix.reaches(a, b)
+            assert mutable.is_acyclic() == matrix.is_acyclic()
+
+    def test_copy_mutable_is_immediately_mutable_and_independent(self):
+        matrix = RelationMatrix(range(4), [(0, 1)]).freeze()
+        mutable = matrix.copy_mutable()
+        mutable.add_edge(1, 2)  # must not raise, must not widen-copy again
+        assert mutable.reaches(0, 2)
+        assert not matrix.reaches(0, 2), "mutation leaked into the source"
+
+    def test_release_feeds_copy_mutable(self):
+        matrix = RelationMatrix(range(5), [(0, 1), (1, 2)])
+        derived = matrix.copy_mutable()
+        derived.add_edge(2, 3)
+        rows = derived._succ
+        derived.release()
+        before = RelationMatrix.buffer_reuses
+        recycled = matrix.copy_mutable()
+        assert RelationMatrix.buffer_reuses == before + 1
+        assert recycled._succ is rows, "expected the released containers back"
+        # Refilled contents match the source, not the released garbage.
+        assert not recycled.reaches(2, 3)
+        assert recycled.reaches(0, 2)
+
+    def test_release_poisons_the_released_matrix(self):
+        matrix = RelationMatrix(range(3), [(0, 1)])
+        derived = matrix.copy_mutable()
+        derived.release()
+        with pytest.raises(TypeError):
+            derived.reaches(0, 1)
+        derived.release()  # idempotent: double release must not corrupt the pool
+
+    def test_release_is_noop_for_packed_rows(self):
+        matrix = RelationMatrix(range(3), [(0, 1)])
+        copy = matrix.copy()  # packed array rows, never mutated
+        copy.release()
+        assert copy.reaches(0, 1), "packed copy must survive release unharmed"
+
+    def test_rejected_valid_writes_candidates_recycle(self):
+        """The DPOR hot path actually recycles: exploring a program with
+        rejected wr candidates must hit the free list."""
+        from repro.dpor import SwappingExplorer
+
+        program = fig12_program()
+        before = RelationMatrix.buffer_reuses
+        SwappingExplorer(program, get_level("CC"), valid_level=get_level("SER")).run()
+        assert RelationMatrix.buffer_reuses > before

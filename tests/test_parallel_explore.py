@@ -13,6 +13,7 @@ import random
 
 import pytest
 
+from repro.core.bitrel import RelationMatrix
 from repro.core.history import History
 from repro.core.ordered_history import OrderedHistory
 from repro.core.wire import (
@@ -196,14 +197,38 @@ class TestWireEncoding:
         assert rebuilt.wr == history.wr
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_pickle_uses_wire_and_drops_matrix_cache(self, seed):
+    def test_pickle_uses_wire_and_ships_matrix_cache(self, seed):
+        """A cached causal closure survives the wire bit-for-bit.
+
+        The closure is a fixpoint the receiver would otherwise recompute
+        on its first causality query; the wire ships the packed rows so a
+        decoded work item is as cheap to step as the original.  Restoring
+        must not count as a matrix build (``full_builds``), and the
+        restored matrix must answer every causality query identically to
+        one rebuilt from scratch.
+        """
         rng = random.Random(seed)
         history = random_history(rng)
         history.causal_matrix()  # populate the cache
         clone = pickle.loads(pickle.dumps(history))
         assert clone.canonical_key() == history.canonical_key()
-        assert "causal_matrix" not in clone._cache
-        # The closure is rebuilt lazily and answers identically.
+        builds_before = RelationMatrix.full_builds
+        restored = clone.cached_causal_matrix()
+        assert restored is not None
+        assert RelationMatrix.full_builds == builds_before
+        assert restored.closure_rows() == history.causal_matrix().closure_rows()
+        for a in history.txns:
+            for b in history.txns:
+                assert clone.causally_before(a, b) == history.causally_before(a, b)
+        assert RelationMatrix.full_builds == builds_before
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_wire_without_cached_matrix_rebuilds_lazily(self, seed):
+        rng = random.Random(seed)
+        history = random_history(rng)
+        history._cache.pop("causal_matrix", None)  # force the closure-less path
+        clone = pickle.loads(pickle.dumps(history))
+        assert clone.cached_causal_matrix() is None
         for a in history.txns:
             for b in history.txns:
                 assert clone.causally_before(a, b) == history.causally_before(a, b)
@@ -242,3 +267,188 @@ class TestStatsMerging:
     def test_add_rejects_other_types(self):
         with pytest.raises(TypeError):
             ExplorationStats() + 1
+
+
+class TestResolveWorkers:
+    def test_identity_above_zero(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(2) == 2
+        assert resolve_workers(64) == 64
+
+    def test_zero_means_cpu_count_even_when_unknown(self, monkeypatch):
+        import os as _os
+
+        monkeypatch.setattr(_os, "cpu_count", lambda: None)
+        assert resolve_workers(0) == 1
+
+    def test_negative_rejected_with_value(self):
+        with pytest.raises(ValueError, match="-7"):
+            resolve_workers(-7)
+
+
+class TestPoolResilience:
+    """Crash recovery, the batched protocol, and alternate start methods.
+
+    Every scenario must end in the same place: the identical canonical
+    history set and identical additive counters as the serial run.
+    """
+
+    def _courseware(self):
+        from repro.apps import client_program
+
+        return client_program("courseware", 3, 2, 3)
+
+    def test_worker_killed_mid_task_recovers_exactly(self):
+        # Chaos hook: each worker os._exit(17)s after serving two tasks,
+        # *before* committing the second one.  The coordinator must re-queue
+        # the inflight seeds and discard the staged outputs — the final
+        # history set and counters stay bit-identical to serial.
+        program = self._courseware()
+        serial = run_serial(program, "CC", "SER")
+        explorer = ParallelExplorer(
+            program,
+            get_level("CC"),
+            valid_level=get_level("SER"),
+            workers=2,
+            task_ticks=64,
+            task_budget=0.005,
+            _chaos_kill_after=2,
+        )
+        parallel = explorer.run()
+        assert_equivalent(serial, parallel, "courseware/chaos-kill-2")
+        assert explorer.pool.crashes > 0, "chaos hook never fired"
+
+    def test_whole_pool_loss_finishes_serially_and_exactly(self):
+        # A single chaos-armed worker with no respawn budget dies on its
+        # first task; the coordinator must notice the empty pool and drain
+        # the entire frontier itself, exactly.  (The explorer only ever
+        # arms the first worker, so this scenario is pinned at the pool
+        # layer directly.)
+        from repro.dpor.pool import PersistentPool
+
+        program = figd1_program()
+        engine = StepEngine(program, get_level("CC"))
+        items = [engine.initial_item()]
+
+        want_stats = ExplorationStats()
+        want_outputs = []
+        engine.drain(list(items), want_stats, want_outputs.append)
+
+        pool = PersistentPool(
+            engine,
+            workers=1,
+            max_respawns=0,
+            chaos_exit_after=1,
+            task_ticks=4,
+            batch_size=1,
+        )
+        pool.start()
+        got_outputs = []
+        worker_stats = {}
+        coordinator_stats = ExplorationStats()
+        try:
+            timed_out = pool.explore(
+                list(items), None, True, got_outputs.append, worker_stats, coordinator_stats
+            )
+        finally:
+            pool.shutdown()
+        assert not timed_out
+        assert pool.crashes == 1 and pool.respawns == 0
+        total = sum(worker_stats.values(), coordinator_stats)
+        for counter in ADDITIVE_COUNTERS:
+            assert getattr(total, counter) == getattr(want_stats, counter), counter
+        assert sorted(h.canonical_key() for h in got_outputs) == sorted(
+            h.canonical_key() for h in want_outputs
+        )
+        assert coordinator_stats.explore_calls > 0, "serial drain never ran"
+
+    def test_batched_protocol_equivalence(self):
+        # Pin the batch size and shrink the time slice so multi-seed frames,
+        # remainder returns, and mid-task rebalancing all actually happen.
+        program = self._courseware()
+        serial = run_serial(program, "CC", "SER")
+        explorer = ParallelExplorer(
+            program,
+            get_level("CC"),
+            valid_level=get_level("SER"),
+            workers=2,
+            batch_size=4,
+            task_budget=0.001,
+            task_ticks=32,
+        )
+        parallel = explorer.run()
+        assert_equivalent(serial, parallel, "courseware/batch4")
+        assert explorer.pool.controller.batch == 4, "fixed batch size drifted"
+        assert explorer.pool.tasks_dispatched > 1, "batched path never exercised"
+
+    def test_spawn_start_method_equivalence(self):
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        program = figd1_program()  # module-level transactions: spawn-picklable
+        serial = run_serial(program, "CC")
+        explorer = ParallelExplorer(
+            program,
+            get_level("CC"),
+            workers=2,
+            min_fork_steps=0,
+            seed_factor=1,
+            start_method="spawn",
+        )
+        parallel = explorer.run()
+        assert_equivalent(serial, parallel, "figD1/spawn")
+        assert [pid for pid in parallel.worker_stats if pid != 0]
+
+
+class TestPoolUnavailable:
+    """--workers > 1 where no pool can start must fail loudly and early."""
+
+    def test_unpicklable_engine_on_spawn_raises_at_construction(self):
+        # The courseware app builds transactions from Python closures, which
+        # spawn cannot ship.  The error must fire when the explorer is
+        # *constructed* — not hang or silently fall back to serial.
+        from repro.apps import client_program
+        from repro.dpor.pool import PoolUnavailableError
+
+        program = client_program("courseware", 3, 2, 3)
+        with pytest.raises(PoolUnavailableError, match="workers=1"):
+            ParallelExplorer(
+                program, get_level("CC"), workers=2, start_method="spawn"
+            )
+
+    def test_no_start_method_at_all_raises(self, monkeypatch):
+        import multiprocessing
+
+        from repro.dpor.pool import PoolUnavailableError
+
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods", lambda: [])
+        with pytest.raises(PoolUnavailableError, match="workers=1"):
+            ParallelExplorer(figd1_program(), get_level("CC"), workers=2)
+
+    def test_model_checker_surfaces_pool_error(self, monkeypatch):
+        import multiprocessing
+
+        from repro.checking import ModelChecker
+        from repro.dpor.pool import PoolUnavailableError
+
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods", lambda: [])
+        checker = ModelChecker(figd1_program(), isolation="CC", workers=2)
+        with pytest.raises(PoolUnavailableError):
+            checker.run()
+
+    def test_cli_check_exits_with_clear_error(self, monkeypatch, tmp_path, capsys):
+        import multiprocessing
+
+        from repro.cli import main
+
+        monkeypatch.setattr(multiprocessing, "get_all_start_methods", lambda: [])
+        source = tmp_path / "prog.txt"
+        source.write_text(
+            "session a { transaction { write(x, 1); } }\n"
+            "session b { transaction { v := read(x); } }\n"
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(["check", str(source), "--workers", "2"])
+        assert "error:" in str(exc.value)
+        assert "workers=1" in str(exc.value)
