@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Generated workloads × the extended isolation lattice, end to end.
+
+The registry's new levels (session guarantees, PSI, PC, BS-3) and the
+workload generator meet in this sweep: every generator preset plus a
+handful of inline specs is model-checked under a sample of the registered
+levels, and every enumerated history is then replayed through the online
+checker at **all** registered levels with the final verdicts compared to
+the batch checkers and spot-checked against the brute-force axiomatic
+reference.  This is the pipeline a user exercises with
+
+    python -m repro record --app gen-hotspot --isolation PSI \
+        | python -m repro replay - --online
+
+so a regression anywhere along generator → exploration → trace →
+online checking fails this script.
+
+Standalone on purpose (stdlib + src only): CI runs it as its own gating
+step on interpreters that may not have pytest, with a deliberately small
+budget —
+
+    PYTHONPATH=src python scripts/check_generator_fuzz.py
+
+Exit code 0 iff every check agreed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.apps.generator import PRESETS, parse_spec, spec_for  # noqa: E402
+from repro.apps.workloads import client_program  # noqa: E402
+from repro.checking.checker import ModelChecker  # noqa: E402
+from repro.checking.online import OnlineChecker  # noqa: E402
+from repro.isolation import get_level, registered_levels, satisfies_reference  # noqa: E402
+from repro.trace import Trace  # noqa: E402
+
+#: Exploration levels sampled per workload (keep the budget small; the
+#: online replay below still checks all registered levels per history).
+EXPLORE_LEVELS = ("CC", "SESSION", "PSI", "PC", "BS-3")
+
+#: Inline specs covering the knobs the presets do not: tiny hot key space,
+#: abort-heavy, read-session mix.
+INLINE_SPECS = (
+    "gen:keys=2,skew=3.0,len=1-2",
+    "gen:keys=3,aborts=0.5,len=1-2",
+    "gen:keys=3,reads=0.8,mix=0.5,len=1-2",
+)
+
+#: Histories small enough for the brute-force reference cross-check.
+REFERENCE_TXN_LIMIT = 6
+
+
+def check_workload(workload: str, seed: int) -> tuple[int, int]:
+    """Explore one workload; return (histories checked, reference checks)."""
+    all_levels = [level.name for level in registered_levels()]
+    histories = 0
+    referenced = 0
+    program = client_program(workload, sessions=2, txns_per_session=2, seed=seed)
+    for level_name in EXPLORE_LEVELS:
+        result = ModelChecker(program, isolation=level_name).run(keep_outcomes=3)
+        for outcome in result.outcomes or []:
+            history = outcome.history
+            level = get_level(level_name)
+            if not level.satisfies(history):
+                raise SystemExit(
+                    f"FAIL: {workload} seed={seed}: exploration under "
+                    f"{level_name} produced a history violating {level_name}"
+                )
+            trace = Trace.from_history(history, name=f"{workload}-{seed}-{level_name}")
+            checker = OnlineChecker.from_trace(trace, levels=all_levels)
+            checker.replay(trace)
+            batch = {name: get_level(name).satisfies(history) for name in all_levels}
+            if checker.verdicts != batch:
+                diff = {
+                    name: (checker.verdicts[name], batch[name])
+                    for name in all_levels
+                    if checker.verdicts[name] != batch[name]
+                }
+                raise SystemExit(
+                    f"FAIL: {workload} seed={seed} under {level_name}: "
+                    f"online != batch on {diff}"
+                )
+            if len(history.txns) <= REFERENCE_TXN_LIMIT:
+                for name in all_levels:
+                    if batch[name] != satisfies_reference(history, name):
+                        raise SystemExit(
+                            f"FAIL: {workload} seed={seed} under {level_name}: "
+                            f"batch != reference at {name}"
+                        )
+                    referenced += 1
+            histories += 1
+    return histories, referenced
+
+
+def main() -> int:
+    # Validate every preset parses/resolves before spending exploration time.
+    for name in PRESETS:
+        spec_for(name)
+    for spec in INLINE_SPECS:
+        parse_spec(spec)
+
+    started = time.time()
+    histories = 0
+    referenced = 0
+    workloads = sorted(PRESETS) + list(INLINE_SPECS)
+    for workload in workloads:
+        for seed in (0, 1):
+            h, r = check_workload(workload, seed)
+            histories += h
+            referenced += r
+    elapsed = time.time() - started
+    print(
+        f"OK: {len(workloads)} workloads x 2 seeds x {len(EXPLORE_LEVELS)} levels: "
+        f"{histories} histories online==batch across "
+        f"{len(registered_levels())} registered levels, "
+        f"{referenced} reference cross-checks, {elapsed:.1f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,3 +118,29 @@ __all__ += [
     "TraceFormatError",
     "TraceHeader",
 ]
+
+from .apps import WorkloadSpec, generate_program, resolve_workload
+from .isolation import (
+    LevelSpec,
+    lattice_edges,
+    level_spec,
+    level_specs,
+    register_spec,
+    satisfies_bounded_staleness,
+    satisfies_pc,
+    satisfies_psi,
+)
+
+__all__ += [
+    "WorkloadSpec",
+    "generate_program",
+    "resolve_workload",
+    "LevelSpec",
+    "lattice_edges",
+    "level_spec",
+    "level_specs",
+    "register_spec",
+    "satisfies_bounded_staleness",
+    "satisfies_pc",
+    "satisfies_psi",
+]

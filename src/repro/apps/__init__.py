@@ -1,18 +1,29 @@
 """Benchmark applications from the paper's evaluation (§7.2)."""
 
-from . import courseware, shopping_cart, tpcc, twitter, wikipedia
+from . import courseware, generator, shopping_cart, tpcc, twitter, wikipedia
+from .generator import (
+    PRESETS,
+    WorkloadSpec,
+    generate_program,
+    key_access_counts,
+    make_workload,
+    parse_spec,
+)
 from .tables import Table
 from .workloads import (
     APPLICATIONS,
     SCALABILITY_APPS,
     application_suite,
     client_program,
+    resolve_workload,
     session_scaling_suite,
     transaction_scaling_suite,
+    workload_names,
 )
 
 __all__ = [
     "courseware",
+    "generator",
     "shopping_cart",
     "tpcc",
     "twitter",
@@ -20,8 +31,16 @@ __all__ = [
     "Table",
     "APPLICATIONS",
     "SCALABILITY_APPS",
+    "PRESETS",
+    "WorkloadSpec",
     "application_suite",
     "client_program",
+    "generate_program",
+    "key_access_counts",
+    "make_workload",
+    "parse_spec",
+    "resolve_workload",
     "session_scaling_suite",
     "transaction_scaling_suite",
+    "workload_names",
 ]

@@ -1,0 +1,250 @@
+"""Configurable synthetic workload generator (§7.2's shape, parameterised).
+
+The five benchmark applications each hard-code one access pattern.  This
+module generates client programs from a declarative :class:`WorkloadSpec`
+instead, with knobs for the dimensions that matter to isolation checking:
+
+- **contention** — ``hot_key_skew`` draws keys from a zipf-like
+  distribution (weight ``1/(rank+1)**skew``), so a high skew funnels
+  most accesses through a few hot keys;
+- **read/write mix** — ``read_ratio`` is the per-operation probability of
+  a read; ``read_session_ratio`` additionally marks a fraction of sessions
+  as read-mostly (95% reads), modelling reader/writer session mixes;
+- **transaction length** — uniform in ``[txn_len_min, txn_len_max]``;
+- **aborts** — ``abort_rate`` is the probability a transaction ends in an
+  explicit abort, exercising the monitors' abort-retraction paths.
+
+Programs are deterministic in ``(spec, sessions, txns_per_session, seed)``
+and emit the same :class:`~repro.lang.program.Program` objects the
+hand-written applications do, so every downstream consumer (model checker,
+benchmark suite, trace recorder, difftest engine) takes them unchanged.
+
+Specs are addressable by name (:data:`PRESETS`) or by a compact spec
+string ``gen:knob=value,...`` (:func:`parse_spec`), e.g.::
+
+    gen:keys=4,skew=2.0,reads=0.8,len=2-5,aborts=0.1
+
+which is what ``repro bench --apps``, ``repro record --app`` and
+``repro difftest --app`` accept anywhere an application name is expected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..lang.ast import Instr, Read, Write
+from ..lang.program import Program, ProgramBuilder
+
+__all__ = [
+    "WorkloadSpec",
+    "PRESETS",
+    "generate_program",
+    "make_workload",
+    "parse_spec",
+    "spec_for",
+    "key_access_counts",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative shape of a generated workload.
+
+    All fields have benign defaults (uniform key choice, balanced
+    read/write mix, no aborts); construction validates ranges eagerly so a
+    bad CLI spec string fails with a message instead of a weird program.
+    """
+
+    name: str = "gen"
+    keys: int = 8
+    hot_key_skew: float = 0.0
+    read_ratio: float = 0.5
+    txn_len_min: int = 2
+    txn_len_max: int = 4
+    abort_rate: float = 0.0
+    read_session_ratio: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.keys < 1:
+            raise ValueError(f"keys must be >= 1, got {self.keys}")
+        if self.hot_key_skew < 0:
+            raise ValueError(f"hot_key_skew must be >= 0, got {self.hot_key_skew}")
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ValueError(f"read_ratio must be in [0, 1], got {self.read_ratio}")
+        if not 0.0 <= self.abort_rate <= 1.0:
+            raise ValueError(f"abort_rate must be in [0, 1], got {self.abort_rate}")
+        if not 0.0 <= self.read_session_ratio <= 1.0:
+            raise ValueError(
+                f"read_session_ratio must be in [0, 1], got {self.read_session_ratio}"
+            )
+        if self.txn_len_min < 1:
+            raise ValueError(f"txn_len_min must be >= 1, got {self.txn_len_min}")
+        if self.txn_len_max < self.txn_len_min:
+            raise ValueError(
+                f"txn_len_max ({self.txn_len_max}) < txn_len_min ({self.txn_len_min})"
+            )
+
+    def key_names(self) -> List[str]:
+        return [f"k{i}" for i in range(self.keys)]
+
+    def key_weights(self) -> List[float]:
+        """Zipf-like weights over key ranks: ``1/(rank+1)**skew``.
+
+        ``skew == 0`` degenerates to uniform; larger skews concentrate
+        probability mass on the low-rank (hot) keys.
+        """
+        return [1.0 / (rank + 1) ** self.hot_key_skew for rank in range(self.keys)]
+
+
+#: Named workload shapes, usable anywhere an application name is accepted.
+PRESETS: Dict[str, WorkloadSpec] = {
+    "gen-uniform": WorkloadSpec(name="gen-uniform"),
+    "gen-hotspot": WorkloadSpec(name="gen-hotspot", keys=8, hot_key_skew=2.0),
+    "gen-readmostly": WorkloadSpec(
+        name="gen-readmostly", read_ratio=0.9, read_session_ratio=0.5
+    ),
+    "gen-aborty": WorkloadSpec(name="gen-aborty", abort_rate=0.3, hot_key_skew=1.0),
+}
+
+#: ``gen:`` spec-string knob → WorkloadSpec field (``len`` is special-cased).
+_KNOBS: Dict[str, str] = {
+    "keys": "keys",
+    "skew": "hot_key_skew",
+    "reads": "read_ratio",
+    "aborts": "abort_rate",
+    "mix": "read_session_ratio",
+}
+
+SPEC_PREFIX = "gen:"
+
+
+def parse_spec(text: str) -> WorkloadSpec:
+    """Parse a ``gen:knob=value,...`` spec string into a WorkloadSpec.
+
+    Knobs: ``keys=<int>``, ``skew=<float>``, ``reads=<float>``,
+    ``aborts=<float>``, ``mix=<float>`` (read-session ratio) and
+    ``len=<n>`` or ``len=<min>-<max>``.  A bare ``gen:`` is the default
+    spec.  Raises ValueError with the offending knob on malformed input.
+    """
+    body = text[len(SPEC_PREFIX):] if text.startswith(SPEC_PREFIX) else text
+    fields: Dict[str, object] = {"name": text if text.startswith(SPEC_PREFIX) else SPEC_PREFIX + text}
+    for part in filter(None, (p.strip() for p in body.split(","))):
+        if "=" not in part:
+            raise ValueError(f"malformed workload knob {part!r} (expected knob=value)")
+        knob, _, raw = part.partition("=")
+        knob = knob.strip()
+        raw = raw.strip()
+        try:
+            if knob == "len":
+                lo, _, hi = raw.partition("-")
+                fields["txn_len_min"] = int(lo)
+                fields["txn_len_max"] = int(hi) if hi else int(lo)
+            elif knob == "keys":
+                fields["keys"] = int(raw)
+            elif knob in _KNOBS:
+                fields[_KNOBS[knob]] = float(raw)
+            else:
+                raise ValueError(
+                    f"unknown workload knob {knob!r} "
+                    f"(knobs: {', '.join(sorted(_KNOBS))}, len)"
+                )
+        except ValueError as exc:
+            if "unknown workload knob" in str(exc) or "malformed" in str(exc):
+                raise
+            raise ValueError(f"bad value for workload knob {knob!r}: {raw!r}") from exc
+    return WorkloadSpec(**fields)  # type: ignore[arg-type]
+
+
+def spec_for(app: str) -> WorkloadSpec:
+    """Resolve a preset name or ``gen:`` spec string to a WorkloadSpec.
+
+    Raises KeyError for names that are neither (hand-written applications
+    live in :data:`~repro.apps.workloads.APPLICATIONS`, not here).
+    """
+    if app in PRESETS:
+        return PRESETS[app]
+    if app.startswith(SPEC_PREFIX):
+        return parse_spec(app)
+    raise KeyError(app)
+
+
+def generate_program(
+    spec: WorkloadSpec,
+    sessions: int = 2,
+    txns_per_session: int = 2,
+    seed: int = 0,
+    name: str = "",
+) -> Program:
+    """One deterministic client program drawn from ``spec``.
+
+    The same ``(spec, sessions, txns_per_session, seed)`` always yields an
+    identical program — the property the determinism test pins down.
+    """
+    # Seed from the full spec so every knob change re-rolls the draw, and
+    # from the shape so prefix programs at smaller sizes are independent.
+    rng = random.Random(repr((spec, sessions, txns_per_session, seed)))
+    keys = spec.key_names()
+    weights = spec.key_weights()
+    builder = ProgramBuilder(name or spec.name, extra_variables=keys)
+    n_read_sessions = round(spec.read_session_ratio * sessions)
+    next_value = 1
+    for s in range(sessions):
+        read_ratio = 0.95 if s < n_read_sessions else spec.read_ratio
+        session = builder.session(f"client{s}")
+        for t in range(txns_per_session):
+            txn = session.transaction(f"t{t}")
+            length = rng.randint(spec.txn_len_min, spec.txn_len_max)
+            picks = rng.choices(range(spec.keys), weights=weights, k=length)
+            for op_index, key_index in enumerate(picks):
+                key = keys[key_index]
+                if rng.random() < read_ratio:
+                    txn.read(f"r{op_index}", key)
+                else:
+                    txn.write(key, next_value)
+                    next_value += 1
+            if rng.random() < spec.abort_rate:
+                txn.abort()
+    return builder.build()
+
+
+def make_workload(spec: WorkloadSpec) -> Callable[..., Program]:
+    """Adapt a spec to the ``APPLICATIONS`` make-callable signature."""
+
+    def make(
+        sessions: int = 2,
+        txns_per_session: int = 2,
+        seed: int = 0,
+        name: str = "",
+    ) -> Program:
+        return generate_program(
+            spec, sessions=sessions, txns_per_session=txns_per_session,
+            seed=seed, name=name or spec.name,
+        )
+
+    make.__name__ = f"make_{spec.name.replace(':', '_').replace(',', '_')}"
+    return make
+
+
+def _count_instr(instr: Instr, counts: Dict[str, int]) -> None:
+    if isinstance(instr, (Read, Write)) and isinstance(instr.var, str):
+        counts[instr.var] = counts.get(instr.var, 0) + 1
+    then = getattr(instr, "then", ())
+    orelse = getattr(instr, "orelse", ())
+    for child in tuple(then) + tuple(orelse):
+        _count_instr(child, counts)
+
+
+def key_access_counts(program: Program) -> Dict[str, int]:
+    """Static per-key access counts (reads + writes) of a program.
+
+    Used by the distribution-sanity tests and the docs to show that the
+    skew knob actually concentrates traffic on hot keys.
+    """
+    counts: Dict[str, int] = {}
+    for txns in program.sessions.values():
+        for txn in txns:
+            for instr in txn.body:
+                _count_instr(instr, counts)
+    return counts

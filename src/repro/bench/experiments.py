@@ -65,9 +65,20 @@ def fig14(
     timeout: Optional[float] = 60.0,
     algorithms: Sequence[str] = FIG14_ALGORITHMS,
     workers: int = 1,
+    apps: Optional[Sequence[str]] = None,
 ) -> Fig14Result:
-    """Fig. 14: compare the seven algorithm configurations on the app suite."""
-    suite = application_suite(sessions, txns_per_session, programs_per_app)
+    """Fig. 14: compare the seven algorithm configurations on the app suite.
+
+    ``apps`` overrides the suite's workload list; it accepts anything
+    :func:`repro.apps.workloads.resolve_workload` does (application names,
+    generator presets, ``gen:`` spec strings).  The default — the five
+    hand-written applications — is what the checked-in benchmark baselines
+    measure, so CI comparisons stay apples-to-apples.
+    """
+    if apps is None:
+        suite = application_suite(sessions, txns_per_session, programs_per_app)
+    else:
+        suite = application_suite(sessions, txns_per_session, programs_per_app, apps=apps)
     records = run_suite(suite, algorithms, timeout=timeout, workers=workers)
     time_data = CactusData("time_s")
     memory_data = CactusData("peak_heap_kb")

@@ -8,11 +8,18 @@
 
 The checker picks the right algorithm for the requested isolation level:
 
-* RC / RA / CC / true → the strongly optimal ``explore-ce`` (§5);
-* SI / SER → ``explore-ce*(base, level)`` (§6), exploring under a weaker
-  prefix-closed causally-extensible ``base`` (CC by default, per the paper's
-  observation that CC+SI / CC+SER overhead is negligible);
+* prefix-closed causally-extensible levels (RC / RA / CC / true, the
+  session guarantees RYW/MR/MW/WFR/SESSION) → the strongly optimal
+  ``explore-ce`` (§5);
+* search levels (SI / SER / PSI / PC / BS-3) → ``explore-ce*(base,
+  level)`` (§6), exploring under the strongest registered prefix-closed
+  causally-extensible level weaker than the target — CC for SI/SER/PSI/PC
+  (per the paper's observation that CC+SI / CC+SER overhead is
+  negligible), RC for BS-3;
 * ``method="dfs"`` forces the no-POR baseline (for comparison only).
+
+Any name registered in the isolation registry is accepted (``repro
+levels`` lists them).
 """
 
 from __future__ import annotations
@@ -21,13 +28,34 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..dpor.explore import SwappingExplorer
 from ..dpor.parallel import ParallelExplorer, resolve_workers
-from ..isolation.base import IsolationLevel, get_level
+from ..isolation.base import IsolationLevel, get_level, registered_levels
 from ..lang.program import Program
 from ..semantics.enumerate import enumerate_histories
 from .assertions import Assertion
 from .result import CheckResult, Outcome, Violation
 
 LevelLike = Union[str, IsolationLevel]
+
+
+def _default_base(level: IsolationLevel) -> IsolationLevel:
+    """The strongest sound exploration base for ``explore-ce*(base, level)``.
+
+    The base must be prefix-closed, causally extensible, and weaker than
+    the target so no valid history is pruned.  Picking the strongest such
+    registered level keeps the exploration tight: CC for SI/SER/PSI/PC
+    (the paper's default — CC+SI / CC+SER overhead is negligible, §6), but
+    RC for BS-3, which is *not* stronger than CC, so exploring it under a
+    CC base would be unsound.  TRUE always qualifies as the fallback.
+    """
+    candidates = [
+        other
+        for other in registered_levels()
+        if other.name != level.name
+        and other.prefix_closed
+        and other.causally_extensible
+        and other.is_weaker_than(level)
+    ]
+    return max(candidates, key=lambda other: other.strength)
 
 
 def _normalize_keep_outcomes(keep_outcomes: Union[bool, int]) -> Tuple[bool, Optional[int]]:
@@ -59,11 +87,13 @@ class ModelChecker:
     program:
         The bounded transactional program to check.
     isolation:
-        The isolation level the database provides: ``"RC"``, ``"RA"``,
-        ``"CC"``, ``"SI"``, ``"SER"`` or ``"TRUE"``.
+        The isolation level the database provides: any registered name
+        (``"RC"``, ``"RA"``, ``"CC"``, ``"SI"``, ``"SER"``, ``"TRUE"``,
+        ``"PSI"``, ``"PC"``, ``"SESSION"``, ``"BS-3"``, ...).
     base:
-        For SI/SER: the weaker exploration level of ``explore-ce*``
-        (default CC).
+        For search levels: the weaker exploration level of
+        ``explore-ce*`` (default: strongest registered causally-extensible
+        level weaker than the target — CC for SI/SER/PSI/PC, RC for BS-3).
     method:
         ``"dpor"`` (default) or ``"dfs"`` for the baseline.
     workers:
@@ -95,7 +125,7 @@ class ModelChecker:
         elif self.level.prefix_closed and self.level.causally_extensible:
             self.base = None
         else:
-            self.base = get_level("CC")
+            self.base = _default_base(self.level)
         if method not in ("dpor", "dfs"):
             raise ValueError(f"unknown method {method!r}")
         self.method = method

@@ -17,16 +17,22 @@ What is incremental
   ``add_node`` per ``begin``, ``add_edge`` per session-successor and
   write-read edge — instead of being rebuilt per event (the from-scratch
   build is cubic in transactions; the increments are O(affected rows));
-* RC/RA/CC run on :class:`~repro.isolation.saturation.IncrementalSaturation`:
+* levels whose axioms are all co-free — RC/RA/CC and the session
+  guarantees (RYW/MR/MW/WFR/SESSION) — run on
+  :class:`~repro.isolation.saturation.IncrementalSaturation`:
   new axiom instances are quantifier-expanded only against the *new* event
   (a new wr edge meets existing writers; a new first-write meets existing
   reads), premises are re-evaluated only while unfired (they are monotone
   in the grow-only prefix), and the verdict is the maintained closure's
   O(1) acyclicity flag;
-* SI and SER re-run their frontier-memoized searches per event — their
-  axioms mention the commit order, so no saturation state carries over —
-  but on the maintained matrix (passed via ``History.adopt_causal_matrix``)
-  rather than a rebuilt one.
+* the search levels — SI, SER, PSI, PC, BS-3 — re-run their memoized
+  searches per event (their axioms mention the commit order, so no
+  saturation state carries over) but on the maintained matrix (passed via
+  ``History.adopt_causal_matrix``) rather than a rebuilt one.
+
+Which camp a level falls in is read off its
+:class:`~repro.isolation.registry.LevelSpec`, so spec-registered
+extensions stream without touching this module.
 
 The abort exception
 -------------------
@@ -48,18 +54,32 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 from ..core.bitrel import RelationMatrix
 from ..core.events import INIT_TXN, Event, TxnId
 from ..core.history import History
-from ..isolation.axioms import AXIOMS_BY_LEVEL
-from ..isolation.base import get_level
+from ..isolation.base import IsolationLevel, get_level
+from ..isolation.registry import LevelSpec, level_spec
 from ..isolation.saturation import IncrementalSaturation
-from ..isolation.serializability import satisfies_ser
-from ..isolation.snapshot import satisfies_si
 from ..trace.format import Trace, TraceEvent, TraceHeader, TraceReplayer
 
-#: The levels an OnlineChecker decides by default, weakest first.
+#: The levels an OnlineChecker decides by default, weakest first (the
+#: paper's chain; any registered level name is accepted — ``repro levels``
+#: lists them all).
 DEFAULT_LEVELS: Tuple[str, ...] = ("RC", "RA", "CC", "SI", "SER")
 
-#: Levels with co-free axioms, decided by incremental saturation.
-_SATURATION_LEVELS = frozenset(("RC", "RA", "CC"))
+
+def _saturation_eligible(spec: LevelSpec) -> bool:
+    """Whether a level is decided by incremental saturation online.
+
+    Co-free axioms without an order predicate and without a bespoke search
+    checker: the forced-edge state streams; everything else (SI/SER/PSI/
+    PC/BS-3) re-runs its batch search per event on the maintained matrix.
+    An axiom-free level (TRUE) is saturation-eligible regardless of its
+    batch check — with no axioms the streamed verdict is exactly base
+    ``so ∪ wr`` acyclicity.
+    """
+    if spec.order_predicate is not None:
+        return False
+    if not all(axiom.co_free for axiom in spec.axioms):
+        return False
+    return spec.check is None or not spec.axioms
 
 
 @dataclass(frozen=True)
@@ -174,8 +194,8 @@ class OnlineChecker:
         Per-variable initial values written by the implied ``init``
         transaction (default ``0`` each).
     levels:
-        Which levels to decide after every event; any subset of
-        RC/RA/CC/SI/SER (default all five).
+        Which levels to decide after every event; any registered level
+        names or aliases (default the paper's RC/RA/CC/SI/SER chain).
     record_steps:
         With the default ``True`` every :class:`OnlineStep` is retained
         (O(events) memory — fine for replay-and-inspect usage).  The
@@ -197,24 +217,34 @@ class OnlineChecker:
         levels: Iterable[str] = DEFAULT_LEVELS,
         record_steps: bool = True,
     ):
+        resolved: List[IsolationLevel] = []
+        for raw in levels:
+            try:
+                level = get_level(str(raw))
+            except KeyError as exc:
+                raise ValueError(str(exc)) from None
+            if level not in resolved:
+                resolved.append(level)
         self.levels: Tuple[str, ...] = tuple(
-            sorted((str(l).upper() for l in levels), key=lambda n: get_level(n).strength)
+            level.name for level in sorted(resolved, key=lambda l: l.strength)
         )
-        unknown = [l for l in self.levels if l not in DEFAULT_LEVELS]
-        if unknown:
-            raise ValueError(f"online checking supports {DEFAULT_LEVELS}, not {unknown}")
         header = TraceHeader(variables=tuple(sorted(set(variables))), initial=dict(initial or {}))
         self._replayer = TraceReplayer(header)
         #: Maintained so ∪ wr closure over all transactions, init included.
         self._causal = RelationMatrix((INIT_TXN,))
-        self._saturation: Dict[str, IncrementalSaturation] = {
-            name: IncrementalSaturation(AXIOMS_BY_LEVEL[name])
-            for name in self.levels
-            if name in _SATURATION_LEVELS
-        }
-        self._search_levels: Tuple[str, ...] = tuple(
-            name for name in self.levels if name not in _SATURATION_LEVELS
-        )
+        self._saturation: Dict[str, IncrementalSaturation] = {}
+        search: List[str] = []
+        for name in self.levels:
+            try:
+                spec: Optional[LevelSpec] = level_spec(name)
+            except KeyError:
+                # Registered without a spec: fall back to its batch check.
+                spec = None
+            if spec is not None and _saturation_eligible(spec):
+                self._saturation[name] = IncrementalSaturation(spec.axioms)
+            else:
+                search.append(name)
+        self._search_levels: Tuple[str, ...] = tuple(search)
         #: var → (read event, source tid) for every external read so far.
         self._reads_of_var: Dict[str, List[Tuple[Event, TxnId]]] = {}
         #: var → transactions with a visible (non-aborted) write, in order.
@@ -332,10 +362,11 @@ class OnlineChecker:
                 verdicts[name] = base_acyclic and self._saturation[name].consistent
             elif not base_acyclic:
                 verdicts[name] = False
-            elif name == "SI":
-                verdicts[name] = satisfies_si(self.history())
             else:
-                verdicts[name] = satisfies_ser(self.history())
+                # Search levels (SI/SER/PSI/PC/BS-3 and any spec-registered
+                # extension): batch check on the prefix history, running on
+                # the maintained matrix via adopt_causal_matrix.
+                verdicts[name] = get_level(name).satisfies(self.history())
         newly = tuple(
             name for name in self.levels if not verdicts[name] and previous.get(name, True)
         )

@@ -3,10 +3,16 @@
 Commands
 --------
 
+``levels``
+    List every registered isolation level (the classical five plus prefix
+    consistency, session guarantees, PSI and bounded staleness) with its
+    axioms, monitor eviction rule and position in the lattice.
+
 ``check FILE``
     Parse a program in the paper's concrete syntax and enumerate its
-    histories under one isolation level, printing each history (or just the
-    count) and exploration statistics.
+    histories under one isolation level (any name ``repro levels``
+    prints), printing each history (or just the count) and exploration
+    statistics.
 
 ``compare FILE``
     Run the program up the RC → RA → CC → SI → SER ladder and report
@@ -22,9 +28,10 @@ Commands
     and a non-zero exit when any case regresses below the threshold.
 
 ``record [FILE | --app NAME]``
-    Model-check a program (from a file, or a built-in application
-    workload) and dump one of its histories as a portable JSONL trace
-    (see ``docs/trace_format.md``).
+    Model-check a program (from a file, a built-in application workload,
+    a generator preset like ``gen-hotspot``, or an inline
+    ``gen:knob=value,...`` workload spec) and dump one of its histories
+    as a portable JSONL trace (see ``docs/trace_format.md``).
 
 ``replay TRACE``
     Load a recorded trace and decide which isolation levels it satisfies,
@@ -48,7 +55,11 @@ Commands
 
 Examples::
 
+    python -m repro levels --verbose
     python -m repro check program.txn --isolation CC --show-histories
+    python -m repro check program.txn --isolation PSI
+    python -m repro bench --apps gen:keys=4,skew=2.0 --programs 2
+    python -m repro record --app gen-hotspot --isolation CC
     python -m repro compare program.txn
     python -m repro bench --sessions 2 --txns 2 --programs 2
     python -m repro bench diff benchmarks/baseline benchmarks/results
@@ -149,10 +160,8 @@ def _cmd_record(args: argparse.Namespace) -> int:
     if (args.file is None) == (args.app is None):
         raise SystemExit("error: record needs exactly one of FILE or --app NAME")
     if args.app is not None:
-        from .apps.workloads import APPLICATIONS, record_workload_trace
+        from .apps.workloads import record_workload_trace
 
-        if args.app not in APPLICATIONS:
-            raise SystemExit(f"error: unknown app {args.app!r}; known: {sorted(APPLICATIONS)}")
         try:
             trace = record_workload_trace(
                 args.app,
@@ -163,6 +172,8 @@ def _cmd_record(args: argparse.Namespace) -> int:
                 index=args.index,
                 timeout=args.timeout,
             )
+        except KeyError as err:
+            raise SystemExit(f"error: {err.args[0]}")
         except ValueError as err:
             raise SystemExit(f"error: {err}")
     else:
@@ -332,14 +343,56 @@ def _cmd_difftest(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.apps:
+        from .apps.workloads import resolve_workload
+
+        try:
+            for app in args.apps:
+                resolve_workload(app)  # fail fast with the full choice list
+        except KeyError as err:
+            raise SystemExit(f"error: {err.args[0]}")
     result = fig14(
         sessions=args.sessions,
         txns_per_session=args.txns,
         programs_per_app=args.programs,
         timeout=args.timeout,
         workers=args.workers,
+        apps=args.apps or None,
     )
     print(render_fig14(result))
+    return 0
+
+
+def _cmd_levels(args: argparse.Namespace) -> int:
+    from .bench.reporting import format_table
+    from .isolation import lattice_edges, level_specs
+
+    specs = level_specs()
+    rows = []
+    for spec in specs:
+        axioms = ", ".join(axiom.name for axiom in spec.axioms) or "-"
+        if spec.axioms and spec.check is not None:
+            axioms += " (+search)"
+        rows.append(
+            (
+                spec.strength,
+                spec.name,
+                axioms,
+                spec.eviction,
+                ", ".join(spec.stronger_than) or "-",
+            )
+        )
+    print(f"{len(specs)} registered isolation levels (weakest first):\n")
+    print(format_table(["#", "level", "axioms", "eviction", "directly above"], rows))
+    print("\nlattice edges (weaker -> stronger):")
+    for weaker, stronger in lattice_edges():
+        print(f"  {weaker} < {stronger}")
+    if args.verbose:
+        print()
+        for spec in specs:
+            print(f"{spec.name}: {spec.description}")
+            if spec.aliases:
+                print(f"  aliases: {', '.join(spec.aliases)}")
     return 0
 
 
@@ -366,9 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    levels = sub.add_parser(
+        "levels", help="list every registered isolation level and the lattice"
+    )
+    levels.add_argument(
+        "--verbose", action="store_true", help="include descriptions and aliases"
+    )
+    levels.set_defaults(fn=_cmd_levels)
+
     check = sub.add_parser("check", help="enumerate histories of a program")
     check.add_argument("file", help="program in the paper's concrete syntax")
-    check.add_argument("--isolation", default="SER", help="RC|RA|CC|SI|SER|TRUE (default SER)")
+    check.add_argument(
+        "--isolation",
+        default="SER",
+        help="any registered level — see 'repro levels' (default SER)",
+    )
     check.add_argument("--method", default="dpor", choices=("dpor", "dfs"))
     check.add_argument("--timeout", type=float, default=None, help="seconds")
     check.add_argument(
@@ -388,7 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     record = sub.add_parser("record", help="model-check a program and dump one history as a JSONL trace")
     record.add_argument("file", nargs="?", default=None, help="program in the paper's concrete syntax")
-    record.add_argument("--app", default=None, help="record a built-in application workload instead of FILE")
+    record.add_argument(
+        "--app",
+        default=None,
+        help="record a workload instead of FILE: an application name, a "
+        "generator preset (gen-hotspot, ...) or a gen:knob=value,... spec",
+    )
     record.add_argument("--isolation", default="SER", help="exploration level (default SER)")
     record.add_argument("--index", type=int, default=0, help="which enumerated history to record (default 0)")
     record.add_argument("--sessions", type=int, default=2, help="app workload sessions (with --app)")
@@ -402,7 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
         "monitor",
         help="bounded-memory streaming isolation monitor (stdin or TCP)",
     )
-    monitor.add_argument("--isolation", default="RC", help="RC|RA|CC|SI|SER (default RC)")
+    monitor.add_argument(
+        "--isolation",
+        default="RC",
+        help="any registered level — see 'repro levels' (default RC)",
+    )
     monitor.add_argument("--stdin", action="store_true", help="read JSONL trace events from stdin")
     monitor.add_argument("--port", type=int, default=None, help="listen on TCP PORT for one connection instead")
     monitor.add_argument("--stats-every", type=int, default=0, help="print a stats line every N events (0 = never)")
@@ -421,7 +495,10 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="check a recorded JSONL trace against isolation levels")
     replay.add_argument("trace", help="trace file ('-' = stdin)")
     replay.add_argument(
-        "--isolation", default="all", help="RC|RA|CC|SI|SER or 'all' (default all)"
+        "--isolation",
+        default="all",
+        help="any registered level, or 'all' for the classical five "
+        "(default all) — see 'repro levels'",
     )
     replay.add_argument(
         "--online",
@@ -446,9 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--app",
         action="append",
         metavar="WORKLOAD",
-        help="workload: hotkeys, increments, demo:<bug>, or an application "
-        "name (tpcc, twitter, ...); repeatable; default: hotkeys plus the "
-        "config's bug demo",
+        help="workload: hotkeys, increments, demo:<bug>, an application "
+        "name (tpcc, twitter, ...), a generator preset (gen-hotspot, ...) "
+        "or a gen:knob=value,... spec; repeatable; default: hotkeys plus "
+        "the config's bug demo",
     )
     difftest.add_argument("--seeds", type=int, default=8, help="sweep scheduler seeds 0..N-1 (default 8)")
     difftest.add_argument("--seed", type=int, default=None, help="run exactly one scheduler seed")
@@ -461,6 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--sessions", type=int, default=2)
     bench.add_argument("--txns", type=int, default=2)
     bench.add_argument("--programs", type=int, default=2)
+    bench.add_argument(
+        "--apps",
+        action="append",
+        metavar="WORKLOAD",
+        help="override the suite's workloads: application names, generator "
+        "presets or gen:knob=value,... specs; repeatable; default: the "
+        "five paper applications",
+    )
     bench.add_argument("--timeout", type=float, default=30.0)
     bench.add_argument(
         "--workers",

@@ -101,19 +101,27 @@ class RunVerdict:
 
 
 def detected_level(verdicts: Mapping[str, bool]) -> Optional[str]:
-    """The strongest level of the ladder whose prefix all holds.
+    """The strongest checked level whose downward closure all holds.
 
-    Levels are nested (RC ⊇ RA ⊇ CC ⊇ SI ⊇ SER), so the meaningful answer
-    is the last rung reachable without stepping over a violation; ``None``
-    means not even read committed survived.
+    On the classical chain (RC ⊆ RA ⊆ CC ⊆ SI ⊆ SER) this is the last
+    rung reachable without stepping over a violation.  The registry's
+    lattice is a partial order (PSI and PC are incomparable, BS-3 sits on
+    its own branch), so in general a level only counts as detected if it
+    holds *and* every strictly-weaker checked level holds too; among such
+    levels the strongest wins.  ``None`` means not even the weakest
+    checked level survived.
     """
+    from ..isolation import get_level
+
+    names = sorted(verdicts, key=lambda n: get_level(n).strength)
     detected: Optional[str] = None
-    for name in DEFAULT_LEVELS:
-        if name not in verdicts:
-            continue
+    for name in names:
         if not verdicts[name]:
-            break
-        detected = name
+            continue
+        level = get_level(name)
+        weaker = [o for o in names if o != name and get_level(o).is_weaker_than(level)]
+        if all(verdicts[o] for o in weaker):
+            detected = name
     return detected
 
 
@@ -382,8 +390,9 @@ def workload_program(
 ) -> Program:
     """Resolve a workload name to a program.
 
-    Accepts ``hotkeys``, ``increments``, any application name from
-    :data:`repro.apps.workloads.APPLICATIONS`, or ``demo:<bug>``.
+    Accepts ``hotkeys``, ``increments``, ``demo:<bug>``, any application
+    name from :data:`repro.apps.workloads.APPLICATIONS`, a generator preset
+    (``gen-hotspot``, ...) or an inline ``gen:knob=value,...`` spec string.
     """
     if workload == "hotkeys":
         return hotkey_program(sessions, txns_per_session, seed)
@@ -394,13 +403,17 @@ def workload_program(
         if bug not in BUG_DEMOS:
             raise KeyError(f"no demo workload for bug {bug!r} (have {sorted(BUG_DEMOS)})")
         return BUG_DEMOS[bug]()
-    if workload in APPLICATIONS:
+    try:
         return client_program(
             workload, sessions=sessions, txns_per_session=txns_per_session, seed=seed
         )
+    except KeyError:
+        pass
+    from ..apps.workloads import workload_names
+
     raise KeyError(
         f"unknown workload {workload!r}; try hotkeys, increments, demo:<bug>, "
-        f"or one of {sorted(APPLICATIONS)}"
+        f"a gen:knob=value,... spec, or one of {workload_names()}"
     )
 
 
@@ -481,7 +494,12 @@ class DifftestReport:
 
 
 def _rank(level: str) -> int:
-    return DEFAULT_LEVELS.index(level)
+    """Lattice strength rank — total over all registered levels, so the
+    sweep's ``levels`` may include any registered name, not just the
+    classical five."""
+    from ..isolation import get_level
+
+    return get_level(level).strength
 
 
 def run_difftest(

@@ -102,6 +102,79 @@ def _ser_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> b
     return co[t2] < co[read.eid.txn]
 
 
+# -- session-guarantee premises (Terry et al. 1994, lifted to the schema) ----------
+#
+# Each classic session guarantee is one co-free premise — a sub-relation of
+# ``(so ∪ wr)+`` — so each admits the same saturation check as RC/RA/CC and
+# they compose by union (SESSION = all four, which still sits strictly below
+# CC because the compositions never chain more than one ``so`` segment).
+# The premises only consult the surface shared by ``History`` and the online
+# checker's ``_PrefixFacts`` view (``txns[tid].events``, ``wr``,
+# ``so_before``, ``wr_edge``), and they tolerate *absent* transactions
+# (``wr_edge`` is total, returning False for unknown ids) so the streaming
+# monitor can garbage-collect around them.
+
+
+def _ryw_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Read Your Writes: ⟨t2, t3⟩ ∈ so.
+
+    A write by an earlier transaction of the reader's own session must not
+    be undone by reading something older.
+    """
+    return history.so_before(t2, read.eid.txn)
+
+
+def _monotonic_reads_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Monotonic Reads: ⟨t2, t3⟩ ∈ wr ∘ so.
+
+    Some earlier transaction of the reader's session already read from t2,
+    so t2's writes are in the session's past view and must stay visible.
+    """
+    t3 = read.eid.txn
+    return any(
+        history.wr_edge(t2, TxnId(t3.session, i)) for i in range(t3.index)
+    )
+
+
+def _monotonic_writes_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Monotonic Writes: ⟨t2, t3⟩ ∈ so ∘ wr.
+
+    The reader observed some transaction ``src``; writes made earlier in
+    ``src``'s session (t2) must be ordered before anything older the
+    reader saw.
+    """
+    t3 = read.eid.txn
+    log = history.txns[t3]
+    for event in log.events:
+        if event.is_external_read:
+            src = history.wr.get(event.eid)
+            if src is not None and history.so_before(t2, src):
+                return True
+    return False
+
+
+def _writes_follow_reads_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
+    """Writes Follow Reads: ⟨t2, t3⟩ ∈ wr ∘ so? ∘ wr.
+
+    The reader observed ``src``, and ``src`` (or an earlier transaction of
+    ``src``'s session) read from t2 — so src's writes causally follow t2's
+    and t2 must be visible first.
+    """
+    t3 = read.eid.txn
+    log = history.txns[t3]
+    for event in log.events:
+        if not event.is_external_read:
+            continue
+        src = history.wr.get(event.eid)
+        if src is None:
+            continue
+        if history.wr_edge(t2, src):
+            return True
+        if any(history.wr_edge(t2, TxnId(src.session, i)) for i in range(src.index)):
+            return True
+    return False
+
+
 def _prefix_premise(history: History, co: CoPositions, t2: TxnId, read: Event) -> bool:
     """Prefix (half of SI): ⟨t2, t3⟩ ∈ co* ∘ (wr ∪ so)."""
     t3 = read.eid.txn
@@ -142,8 +215,23 @@ CAUSAL_AXIOM = Axiom("Causal", _causal_premise, co_free=True)
 SERIALIZABILITY_AXIOM = Axiom("Serializability", _ser_premise, co_free=False)
 PREFIX_AXIOM = Axiom("Prefix", _prefix_premise, co_free=False)
 CONFLICT_AXIOM = Axiom("Conflict", _conflict_premise, co_free=False)
+READ_YOUR_WRITES_AXIOM = Axiom("Read Your Writes", _ryw_premise, co_free=True)
+MONOTONIC_READS_AXIOM = Axiom("Monotonic Reads", _monotonic_reads_premise, co_free=True)
+MONOTONIC_WRITES_AXIOM = Axiom("Monotonic Writes", _monotonic_writes_premise, co_free=True)
+WRITES_FOLLOW_READS_AXIOM = Axiom(
+    "Writes Follow Reads", _writes_follow_reads_premise, co_free=True
+)
 
-#: Axiom sets per level name, as in Fig. 2 / Fig. A.1.
+#: The four session guarantees compose by union into the SESSION level.
+SESSION_AXIOMS: Tuple[Axiom, ...] = (
+    READ_YOUR_WRITES_AXIOM,
+    MONOTONIC_READS_AXIOM,
+    MONOTONIC_WRITES_AXIOM,
+    WRITES_FOLLOW_READS_AXIOM,
+)
+
+#: Axiom sets per level name, as in Fig. 2 / Fig. A.1 (paper levels) plus
+#: the registry extensions (session guarantees, PSI, PC, bounded staleness).
 AXIOMS_BY_LEVEL: Dict[str, Tuple[Axiom, ...]] = {
     "RC": (READ_COMMITTED_AXIOM,),
     "RA": (READ_ATOMIC_AXIOM,),
@@ -151,6 +239,49 @@ AXIOMS_BY_LEVEL: Dict[str, Tuple[Axiom, ...]] = {
     "SI": (PREFIX_AXIOM, CONFLICT_AXIOM),
     "SER": (SERIALIZABILITY_AXIOM,),
     "TRUE": (),
+    "RYW": (READ_YOUR_WRITES_AXIOM,),
+    "MR": (MONOTONIC_READS_AXIOM,),
+    "MW": (MONOTONIC_WRITES_AXIOM,),
+    "WFR": (WRITES_FOLLOW_READS_AXIOM,),
+    "SESSION": SESSION_AXIOMS,
+    "PC": (PREFIX_AXIOM,),
+    "PSI": (CAUSAL_AXIOM, CONFLICT_AXIOM),
+    # Bounded staleness: the RC axiom plus the counting order predicate in
+    # ORDER_PREDICATES below (not expressible in the implication schema).
+    "BS-3": (READ_COMMITTED_AXIOM,),
+}
+
+#: Order predicate: an extra whole-order constraint ``P(history, co)`` on a
+#: candidate *total* commit order, for levels (bounded staleness) whose
+#: definition counts over ``co`` rather than implying single edges.
+OrderPredicate = Callable[[History, CoPositions], bool]
+
+
+def bounded_staleness_predicate(k: int) -> OrderPredicate:
+    """At most ``k - 1`` other writers between a read's source and the reader.
+
+    For every external read ``x ←wr t1`` by ``t3``:
+    ``|{t2 writes x, t2 ∉ {t1, t3} : co[t1] < co[t2] < co[t3]}| < k``.
+    """
+
+    def predicate(history: History, co: CoPositions) -> bool:
+        for eid, t1 in history.wr.items():
+            t3 = eid.txn
+            var = history.event(eid).var
+            stale = 0
+            for t2 in history.writers_of(var):
+                if t2 != t1 and t2 != t3 and co[t1] < co[t2] < co[t3]:
+                    stale += 1
+                    if stale >= k:
+                        return False
+        return True
+
+    return predicate
+
+
+#: Extra whole-order constraints per level name (empty for schema-only levels).
+ORDER_PREDICATES: Dict[str, OrderPredicate] = {
+    "BS-3": bounded_staleness_predicate(3),
 }
 
 

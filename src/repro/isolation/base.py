@@ -17,7 +17,7 @@ Each concrete level exposes:
 from __future__ import annotations
 
 import abc
-from typing import Dict, List
+from typing import Dict, FrozenSet, Iterable, List
 
 from ..core.history import History
 
@@ -40,10 +40,18 @@ class IsolationLevel(abc.ABC):
         """Whether ``history`` is consistent with this level."""
 
     def is_weaker_than(self, other: "IsolationLevel") -> bool:
-        """Whether every history consistent with ``self``... includes equality.
+        """Whether every history consistent with ``other`` satisfies ``self``.
 
-        The registry's levels form a chain, so strength ranks decide this.
+        Includes equality.  Levels registered through the
+        :mod:`repro.isolation.registry` lattice are decided by the recorded
+        weaker-than closure (the lattice is a partial order — PSI and PC,
+        or BS-3 and SI, are incomparable); levels registered without
+        lattice edges fall back to comparing strength ranks, which is exact
+        for the original RC < RA < CC < SI < SER chain.
         """
+        closure = _WEAKER_CLOSURE.get(other.name.upper())
+        if closure is not None and self.name.upper() in _WEAKER_CLOSURE:
+            return self.name.upper() in closure
         return self.strength <= other.strength
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -52,6 +60,10 @@ class IsolationLevel(abc.ABC):
 
 _REGISTRY: Dict[str, IsolationLevel] = {}
 
+#: name → every registered level weaker than or equal to it (reflexive,
+#: transitive closure of the declared lattice edges).
+_WEAKER_CLOSURE: Dict[str, FrozenSet[str]] = {}
+
 
 def register(level: IsolationLevel) -> IsolationLevel:
     """Add a level instance to the global registry (keyed by name)."""
@@ -59,11 +71,39 @@ def register(level: IsolationLevel) -> IsolationLevel:
     return level
 
 
+def record_lattice(name: str, stronger_than: Iterable[str]) -> None:
+    """Record ``name``'s position in the weaker-than lattice.
+
+    ``stronger_than`` names the level's immediate weaker neighbours, which
+    must already be recorded — levels register weakest-first.
+    """
+    key = name.upper()
+    closure = {key}
+    for weaker in stronger_than:
+        weaker_key = weaker.upper()
+        if weaker_key not in _WEAKER_CLOSURE:
+            raise KeyError(
+                f"level {name!r} declared stronger than unrecorded level {weaker!r}; "
+                "register weaker levels first"
+            )
+        closure.update(_WEAKER_CLOSURE[weaker_key])
+    _WEAKER_CLOSURE[key] = frozenset(closure)
+
+
+def add_aliases(name: str, aliases: Iterable[str]) -> None:
+    """Register extra case-insensitive lookup aliases for a level name."""
+    for alias in aliases:
+        _ALIASES[alias.strip().lower()] = name.upper()
+
+
 def get_level(name: str) -> IsolationLevel:
     """Look up a registered level by (case-insensitive) name.
 
-    Accepted names: ``RC``, ``RA``, ``CC``, ``SI``, ``SER``, ``TRUE`` plus
-    the long aliases (``read committed`` etc.).
+    Accepts every registered short name (``RC``, ``RA``, ``CC``, ``SI``,
+    ``SER``, ``TRUE``, ``RYW``, ``MR``, ``MW``, ``WFR``, ``SESSION``,
+    ``PSI``, ``PC``, ``BS-3``) plus the long aliases (``read committed``,
+    ``parallel snapshot isolation``, ``bounded staleness`` etc.) —
+    ``repro levels`` on the command line lists them all.
     """
     key = _ALIASES.get(name.strip().lower(), name.strip().upper())
     try:

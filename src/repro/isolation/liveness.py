@@ -45,13 +45,20 @@ Per-level refinements
       premises can fire through the evicted writer's *session* (a later
       same-session read arms ``⟨t2, t3⟩ ∈ so``), so freshness alone is not
       an eviction licence there and the flag is ignored.
-    * **SI / SER** additionally require **no external reads**: their
-      axioms mention the commit order, so a premise over an old read is
-      never frozen — any transaction that read something can join a
-      violation witness arbitrarily late (the classic long-fork reader).
+    * **SI / SER / PSI / PC / BS-3 — and MR / WFR / SESSION** additionally
+      require **no external reads**: the search levels' axioms mention the
+      commit order, so a premise over an old read is never frozen — any
+      transaction that read something can join a violation witness
+      arbitrarily late (the classic long-fork reader) — and the monotonic
+      reads / writes-follow-reads premises traverse *session-mates'* read
+      logs, so a future reader's instance can re-inspect an old read.
       Only *inert* transactions (no visible writes, no external reads) are
       evictable, which still covers aborted write-free transactions and
       keeps the property tests exact at every level.
+
+Which rule applies is declared per level in its
+:class:`~repro.isolation.registry.LevelSpec` (``eviction=``), so new
+levels pick a sound rule at registration time.
 
 The monitor separately enforces a retention window (the last ``W``
 completed transactions are protected regardless), and only runs eviction
@@ -136,48 +143,61 @@ class EvictionPolicy:
         return False
 
 
-class ReadCommittedPolicy(EvictionPolicy):
-    level = "RC"
+class FreshCapablePolicy(EvictionPolicy):
+    """``"fresh"`` rule (RC): static premises allow assume-fresh eviction."""
+
+    level = "fresh"
     supports_fresh_eviction = True
 
 
-class ReadAtomicPolicy(EvictionPolicy):
-    level = "RA"
+class WriterPinningPolicy(EvictionPolicy):
+    """``"writers"`` rule: the common gates alone are exact.
+
+    Covers levels whose premises never traverse another transaction's read
+    set — RA, the one-step ``so ∪ wr`` premise; CC, whose ``(so ∪ wr)+``
+    premise is preserved through eviction by the compacted closure matrix;
+    RYW/MW, whose session clauses consult only static ``so`` and the
+    reader's own log.
+    """
+
+    level = "writers"
 
 
-class CausalPolicy(EvictionPolicy):
-    level = "CC"
+class InertOnlyPolicy(EvictionPolicy):
+    """``"inert"`` rule: transactions with external reads stay too.
 
+    Needed by the commit-order searches (SI/SER/PSI/PC/BS — a premise
+    over an old read is never frozen) and by the session premises that
+    traverse session-mates' read logs (MR/WFR/SESSION): a *future*
+    reader's instance may re-inspect an earlier transaction's reads, which
+    eviction would have discarded.
+    """
 
-class SearchLevelPolicy(EvictionPolicy):
-    """SI and SER: commit-order axioms — only inert transactions leave."""
-
+    level = "inert"
     requires_no_external_reads = True
 
 
-class SnapshotPolicy(SearchLevelPolicy):
-    level = "SI"
-
-
-class SerializabilityPolicy(SearchLevelPolicy):
-    level = "SER"
-
-
 _POLICIES = {
-    "RC": ReadCommittedPolicy(),
-    "RA": ReadAtomicPolicy(),
-    "CC": CausalPolicy(),
-    "SI": SnapshotPolicy(),
-    "SER": SerializabilityPolicy(),
+    "fresh": FreshCapablePolicy(),
+    "writers": WriterPinningPolicy(),
+    "inert": InertOnlyPolicy(),
 }
 
 
 def eviction_policy(level: str) -> EvictionPolicy:
-    """The eviction policy for an isolation level name (RC/RA/CC/SI/SER)."""
+    """The eviction policy for a registered isolation level name.
+
+    The rule comes from the level's :class:`~repro.isolation.registry.LevelSpec`
+    (``spec.eviction``), so newly registered levels get sound GC without
+    touching this module.
+    """
+    from .registry import level_spec
+
     try:
-        return _POLICIES[level.upper()]
+        spec = level_spec(level)
     except KeyError:
         raise ValueError(f"no eviction policy for level {level!r}") from None
+    return _POLICIES[spec.eviction]
 
 
 def evictable_transactions(

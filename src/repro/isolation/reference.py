@@ -16,23 +16,38 @@ from typing import Optional, Tuple
 from ..core.events import TxnId
 from ..core.history import History
 from ..core.relations import topological_orders
-from .axioms import AXIOMS_BY_LEVEL, Axiom, axioms_hold
+from .axioms import AXIOMS_BY_LEVEL, ORDER_PREDICATES, Axiom, OrderPredicate, axioms_hold
 
 
-def witness_commit_order(history: History, axioms: Tuple[Axiom, ...]) -> Optional[Tuple[TxnId, ...]]:
-    """A total commit order satisfying ``axioms``, or None if none exists."""
+def witness_commit_order(
+    history: History,
+    axioms: Tuple[Axiom, ...],
+    order_predicate: Optional[OrderPredicate] = None,
+) -> Optional[Tuple[TxnId, ...]]:
+    """A total commit order satisfying ``axioms``, or None if none exists.
+
+    ``order_predicate`` adds a whole-order constraint (bounded staleness)
+    that each candidate order must also pass.
+    """
     if not history.is_so_wr_acyclic():
         return None
     adjacency = history.so_wr_adjacency()
     for order in topological_orders(adjacency):
-        if axioms_hold(history, order, axioms):
-            return order
+        if not axioms_hold(history, order, axioms):
+            continue
+        if order_predicate is not None:
+            co = {tid: i for i, tid in enumerate(order)}
+            if not order_predicate(history, co):
+                continue
+        return order
     return None
 
 
 def satisfies_reference(history: History, level_name: str) -> bool:
     """Ground-truth consistency check by exhaustive commit-order search."""
-    axioms = AXIOMS_BY_LEVEL[level_name.upper()]
-    if not axioms:
+    name = level_name.upper()
+    axioms = AXIOMS_BY_LEVEL[name]
+    order_predicate = ORDER_PREDICATES.get(name)
+    if not axioms and order_predicate is None:
         return history.is_so_wr_acyclic()
-    return witness_commit_order(history, axioms) is not None
+    return witness_commit_order(history, axioms, order_predicate) is not None

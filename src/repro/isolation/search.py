@@ -1,0 +1,174 @@
+"""Generic commit-order search for levels with at-commit-decidable axioms.
+
+PSI and bounded staleness do not fit the two specialised searches: PSI's
+Conflict axiom quantifies over *any* earlier conflicting writer (not just
+interval overlap, so the SI timeline does not apply without Prefix), and
+bounded staleness counts intervening writers (so the "last committed
+writer" frontier of the SER search is too coarse).  Both, however, share a
+useful shape:
+
+* their co-free axioms (Causal for PSI, Read Committed for BS-k) force
+  commit-order edges by saturation exactly as in
+  :mod:`repro.isolation.saturation`;
+* their remaining, co-dependent constraint on a reader ``t3`` is **fully
+  decided the moment t3 commits** — it only mentions transactions ordered
+  strictly before ``t3`` in ``co``.
+
+So the search here builds the total commit order left to right (as the SER
+checker does), prunes a commit the moment its at-commit predicate fails,
+and memoizes failing states on ``(committed set, committed-writer
+sequence)`` — the writer sequence is exactly the information future
+at-commit predicates may consult, so the memo key is sound.
+
+The search runs on the dense indexing of the history's cached
+:class:`~repro.core.bitrel.RelationMatrix`; enabledness is one
+word-parallel mask test against the ``so ∪ wr`` closure, widened with the
+saturation-forced direct edges (direct predecessors suffice: every
+reachable committed set is downward-closed, so ancestor- and
+direct-predecessor-completeness coincide).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Set, Tuple
+
+from ..core.events import INIT_TXN
+from ..core.history import History
+from .axioms import AXIOMS_BY_LEVEL, Axiom
+from .saturation import forced_edges, satisfies_by_saturation
+from .summaries import DenseSummaries, dense_summaries
+
+#: An at-commit predicate: ``check(i, writer_seq)`` is True when committing
+#: transaction index ``i`` right after the committed-writer sequence
+#: ``writer_seq`` violates no axiom instance whose reader is ``i``.
+CommitCheck = Callable[[int, Tuple[int, ...]], bool]
+
+
+def _commit_order_search(
+    history: History,
+    co_free_axioms: Tuple[Axiom, ...],
+    make_check: Callable[[DenseSummaries], CommitCheck],
+) -> bool:
+    """Is there a total co extending ``so ∪ wr`` ∪ forced edges passing ``check``?"""
+    # The co-free part first: forced edges + acyclicity, served from the
+    # history's cached saturation state.  Doubles as the base-acyclic gate.
+    if not satisfies_by_saturation(history, co_free_axioms):
+        return False
+
+    matrix = history.causal_matrix()
+    n = len(matrix)
+    summaries = dense_summaries(history, matrix)
+    writes_of = summaries.writes_of
+
+    preds = list(summaries.ancestors)
+    for t2, t1 in forced_edges(history, co_free_axioms):
+        preds[matrix.index_of(t1)] |= 1 << matrix.index_of(t2)
+
+    check = make_check(summaries)
+    full = (1 << n) - 1
+    failed: Set[Tuple[int, Tuple[int, ...]]] = set()
+
+    def search(committed: int, writer_seq: Tuple[int, ...]) -> bool:
+        if committed == full:
+            return True
+        state = (committed, writer_seq)
+        if state in failed:
+            return False
+        for i in range(n):
+            if committed >> i & 1 or preds[i] & ~committed:
+                continue
+            if not check(i, writer_seq):
+                continue
+            next_seq = writer_seq + (i,) if writes_of[i] else writer_seq
+            if search(committed | (1 << i), next_seq):
+                return True
+        failed.add(state)
+        return False
+
+    # init is an ancestor of everything, so it commits first; it writes the
+    # initial value of every variable and heads the writer sequence.
+    init = matrix.index_of(INIT_TXN)
+    initial_seq = (init,) if writes_of[init] else ()
+    return search(1 << init, initial_seq)
+
+
+def satisfies_psi(history: History) -> bool:
+    """Whether ``history`` satisfies Parallel Snapshot Isolation.
+
+    PSI = Causal ∧ Conflict [Sovran et al., SOSP 2011; Cerone & Gotsman,
+    J.ACM 2018]: the SI axioms with Prefix weakened to Causal, so sibling
+    snapshots may diverge (the long fork is allowed) but write-write
+    conflicting transactions still order their observations (lost updates
+    stay forbidden).  The Causal half saturates; the Conflict half is the
+    at-commit predicate:
+
+    for reader ``t3`` with an external read ``x ←wr t1``, every x-writer
+    ``t2`` committed at or before the *latest* committed write-conflicting
+    ``t4`` must satisfy ``co[t2] < co[t1]`` — i.e. no x-writer may sit
+    between the read's source and the latest conflicting writer.
+    """
+    return _commit_order_search(history, AXIOMS_BY_LEVEL["CC"], _make_psi_check)
+
+
+def _make_psi_check(summaries: DenseSummaries) -> CommitCheck:
+    reads_of = summaries.reads_of
+    write_mask = summaries.write_mask
+
+    def check(i: int, writer_seq: Tuple[int, ...]) -> bool:
+        mask = write_mask[i]
+        if not mask or not reads_of[i]:
+            return True
+        conflict_pos = -1
+        for pos in range(len(writer_seq) - 1, -1, -1):
+            if write_mask[writer_seq[pos]] & mask:
+                conflict_pos = pos
+                break
+        if conflict_pos < 0:
+            return True
+        for var, src in reads_of[i]:
+            bit = 1 << var
+            # src writes var and is a co-ancestor of i, hence in writer_seq.
+            src_pos = writer_seq.index(src)
+            for pos in range(conflict_pos, src_pos, -1):
+                if write_mask[writer_seq[pos]] & bit:
+                    return False
+        return True
+
+    return check
+
+
+def satisfies_bounded_staleness(history: History, k: int = 3) -> bool:
+    """Whether ``history`` satisfies bounded staleness with bound ``k``.
+
+    BS-k strengthens Read Committed with a *counting* constraint: an
+    external read may be stale, but fewer than ``k`` other writers of the
+    variable may commit between the read's source and the reader
+    (k-staleness in the Pileus/Azure sense, counted in versions rather
+    than seconds).  The RC axiom saturates; the count is the at-commit
+    predicate — both the source and every intervening writer are committed
+    when the reader commits, so the count is exact at that point.
+    """
+    if k < 1:
+        raise ValueError(f"staleness bound must be >= 1, got {k}")
+    return _commit_order_search(
+        history, AXIOMS_BY_LEVEL["RC"], lambda summaries: _make_bs_check(summaries, k)
+    )
+
+
+def _make_bs_check(summaries: DenseSummaries, k: int) -> CommitCheck:
+    reads_of = summaries.reads_of
+    write_mask = summaries.write_mask
+
+    def check(i: int, writer_seq: Tuple[int, ...]) -> bool:
+        for var, src in reads_of[i]:
+            bit = 1 << var
+            src_pos = writer_seq.index(src)
+            stale = 0
+            for pos in range(src_pos + 1, len(writer_seq)):
+                if write_mask[writer_seq[pos]] & bit:
+                    stale += 1
+                    if stale >= k:
+                        return False
+        return True
+
+    return check

@@ -1,4 +1,4 @@
-"""Snapshot Isolation checking via the start/commit interval semantics.
+"""Snapshot Isolation and Prefix Consistency via interval semantics.
 
 A history satisfies SI (the Prefix ∧ Conflict axioms of Fig. 2(b,c)) iff its
 transactions can be assigned start and commit points on a single timeline
@@ -15,6 +15,15 @@ such that
 This is the classical timestamp characterisation of (strong session) SI
 [Berenson et al. 1995; Cerone & Gotsman, J.ACM 2018], and is cross-validated
 against the brute-force axiomatic checker in the tests.
+
+**Prefix Consistency** (PC) is exactly SI minus Conflict — each transaction
+still reads a prefix-closed snapshot of the commit order, but conflicting
+writers may overlap (lost updates return; the long fork stays forbidden).
+Dropping the first-committer-wins rule from the same search decides it:
+soundness in both directions follows because the commit points of any
+interval assignment form a witnessing ``co`` for Prefix, and conversely a
+``co`` satisfying Prefix yields an assignment by starting each transaction
+just after its latest ``co*∘(wr ∪ so)`` predecessor commits.
 
 The search interleaves start/commit actions and memoizes failing states on
 ``(started, committed, last-writer map)`` — polynomial for a fixed number of
@@ -45,6 +54,15 @@ def satisfies_si(history: History) -> bool:
     the ``so ∪ wr`` closure (the online checker) seed it via
     ``History.adopt_causal_matrix`` so no from-scratch build happens here.
     """
+    return _interval_search(history, first_committer_wins=True)
+
+
+def satisfies_pc(history: History) -> bool:
+    """Whether ``history`` satisfies Prefix Consistency (SI minus Conflict)."""
+    return _interval_search(history, first_committer_wins=False)
+
+
+def _interval_search(history: History, first_committer_wins: bool) -> bool:
     matrix = history.causal_matrix()
     if not matrix.is_acyclic():
         return False
@@ -74,17 +92,19 @@ def satisfies_si(history: History) -> bool:
             if search(started, committed | (1 << i), next_writer):
                 return True
         # Start a new transaction whose causal predecessors have committed.
-        active_writes = 0
-        for other in iter_bits(active):
-            active_writes |= write_mask[other]
+        if first_committer_wins:
+            active_writes = 0
+            for other in iter_bits(active):
+                active_writes |= write_mask[other]
         for i in range(n):
             if started >> i & 1 or ancestors[i] & ~committed:
                 continue
             # Snapshot reads: every external read sees the snapshot at start.
             if any(last_writer[var] != src for var, src in reads_of[i]):
                 continue
-            # First-committer-wins: no overlapping writer of a common variable.
-            if write_mask[i] & active_writes:
+            # First-committer-wins: no overlapping writer of a common
+            # variable (SI only; PC lets conflicting writers overlap).
+            if first_committer_wins and write_mask[i] & active_writes:
                 continue
             if search(started | (1 << i), committed, last_writer):
                 return True

@@ -36,6 +36,7 @@ from typing import Deque, Dict, Iterable, Optional, Set, Tuple
 
 from ..checking.online import Frontier, OnlineChecker, OnlineStep
 from ..core.events import TxnId
+from ..isolation.base import get_level
 from ..isolation.liveness import FRESH_CAPABLE_LEVELS, evictable_transactions
 from ..trace.format import EvictedTransactionError, TraceEvent, TraceHeader
 
@@ -56,7 +57,9 @@ class MonitorStaleReadError(RuntimeError):
 class MonitorConfig:
     """Tuning knobs for a :class:`Monitor`.
 
-    ``isolation`` — the single level to decide (RC/RA/CC/SI/SER);
+    ``isolation`` — the single level to decide (any registered name —
+    the classical five, the session guarantees, PSI, PC or BS-3; see
+    ``repro levels``);
     ``window`` — completed transactions shielded from eviction, and (in
     ``assume-fresh`` mode) the per-variable freshness horizon;
     ``gc_every`` — events between collections (1 = collect per event,
@@ -76,7 +79,11 @@ class MonitorConfig:
     mode: str = "keep"
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "isolation", self.isolation.upper())
+        try:
+            canonical = get_level(self.isolation).name
+        except KeyError as err:
+            raise ValueError(err.args[0]) from None
+        object.__setattr__(self, "isolation", canonical)
         if self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
         if self.gc_every < 1:

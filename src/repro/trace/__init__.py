@@ -33,22 +33,28 @@ __all__ = [
 ]
 
 from .fuzz import (
+    SEPARATIONS,
     adversarial_corpus,
     fuzz_history,
     fuzz_stream,
     fuzz_traces,
     gadget_histories,
+    gadget_name,
     gadget_traces,
+    render_history,
 )
 from .stream import stream_events, stream_trace
 
 __all__ += [
+    "SEPARATIONS",
     "adversarial_corpus",
     "fuzz_history",
     "fuzz_stream",
     "fuzz_traces",
     "gadget_histories",
+    "gadget_name",
     "gadget_traces",
+    "render_history",
     "stream_events",
     "stream_trace",
 ]

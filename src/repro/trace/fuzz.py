@@ -99,6 +99,100 @@ def lost_update() -> History:
     return b.build()
 
 
+def ryw_violation() -> History:
+    """A session writes x then its next transaction reads the initial
+    value → violates Read Your Writes (and RA); satisfies MR/MW/WFR and RC
+    (the stale read is the transaction's only read)."""
+    b = HistoryBuilder(["x"])
+    b.txn("a").write("x", 1).commit()
+    b.txn("a").read("x", source=b.init).commit()
+    return b.build()
+
+
+def mr_violation() -> History:
+    """A session observes a writer, then its next transaction reads the
+    older initial value → violates Monotonic Reads; satisfies RYW/MW/WFR
+    (no session writes) and RA (each transaction alone is atomic)."""
+    b = HistoryBuilder(["x"])
+    w = b.txn("w").write("x", 1).commit()
+    b.txn("a").read("x", source=w).commit()
+    b.txn("a").read("x", source=b.init).commit()
+    return b.build()
+
+
+def mw_violation() -> History:
+    """A session writes x then y; another session sees the later write of
+    y but reads x's initial value → violates Monotonic Writes; satisfies
+    RYW/MR/WFR (the reader's session has no earlier transactions and the
+    observed writer read nothing) and RC (the y-read comes first)."""
+    b = HistoryBuilder(["x", "y"])
+    b.txn("a").write("x", 1).commit()
+    t2 = b.txn("a").write("y", 1).commit()
+    b.txn("b").read("y", source=t2).read("x", source=b.init).commit()
+    return b.build()
+
+
+def wfr_violation() -> History:
+    """A writer's value is observed by a session that then writes y; a
+    fourth session sees that y but reads x's initial value → violates
+    Writes Follow Reads (the y-writer's write causally follows the
+    x-write); satisfies RYW/MR/MW and RA."""
+    b = HistoryBuilder(["x", "y"])
+    w = b.txn("w").write("x", 1).commit()
+    b.txn("c").read("x", source=w).commit()
+    c1 = b.txn("c").write("y", 1).commit()
+    b.txn("d").read("y", source=c1).read("x", source=b.init).commit()
+    return b.build()
+
+
+def session_cc_violation() -> History:
+    """A three-hop ``wr`` chain (four distinct sessions) ending in a stale
+    read → violates Causal Consistency, but every hop crosses sessions and
+    no single session guarantee composes them, so all four session atoms
+    (hence SESSION) are satisfied.  Separates SESSION from CC."""
+    b = HistoryBuilder(["x", "y", "z"])
+    w = b.txn("w").write("x", 1).commit()
+    a = b.txn("a").read("x", source=w).write("y", 1).commit()
+    c = b.txn("c").read("y", source=a).write("z", 1).commit()
+    b.txn("d").read("z", source=c).read("x", source=b.init).commit()
+    return b.build()
+
+
+def bs_3_violation() -> History:
+    """One session writes x three times; a reader session first sees the
+    newest version, then reads the initial value — three newer committed
+    versions skipped → violates BS-3 (bound 3) while satisfying RC."""
+    b = HistoryBuilder(["x"])
+    b.txn("w").write("x", 1).commit()
+    b.txn("w").write("x", 2).commit()
+    w2 = b.txn("w").write("x", 3).commit()
+    b.txn("r").read("x", source=w2).commit()
+    b.txn("r").read("x", source=b.init).commit()
+    return b.build()
+
+
+def psi_violation() -> History:
+    """The lost update: two conflicting writers each read the initial
+    value → violates PSI's Conflict axiom (and SI) while satisfying CC and
+    PC (each snapshot is a valid prefix).  Separates CC/PC from PSI/SI."""
+    b = HistoryBuilder(["x"])
+    b.txn("alice").read("x", source=b.init).write("x", 1).commit()
+    b.txn("bob").read("x", source=b.init).write("x", 2).commit()
+    return b.build()
+
+
+def pc_violation() -> History:
+    """The long fork: two readers order two independent writes oppositely
+    → violates PC's Prefix axiom (and SI) while satisfying CC and PSI (no
+    reader writes, so Conflict is vacuous).  Separates CC/PSI from PC/SI."""
+    b = HistoryBuilder(["x", "y"])
+    w1 = b.txn("w1").write("x", 1).commit()
+    w2 = b.txn("w2").write("y", 1).commit()
+    b.txn("r1").read("x", source=w1).read("y", source=b.init).commit()
+    b.txn("r2").read("x", source=b.init).read("y", source=w2).commit()
+    return b.build()
+
+
 #: name → gadget builder; each violates exactly the levels from its name up.
 GADGETS: Dict[str, Callable[[], History]] = {
     "rc_violation": rc_violation,
@@ -107,7 +201,84 @@ GADGETS: Dict[str, Callable[[], History]] = {
     "si_violation": si_violation,
     "ser_violation": ser_violation,
     "lost_update": lost_update,
+    "ryw_violation": ryw_violation,
+    "mr_violation": mr_violation,
+    "mw_violation": mw_violation,
+    "wfr_violation": wfr_violation,
+    "session_cc_violation": session_cc_violation,
+    # SESSION is the conjunction of the four guarantees, so breaking any
+    # one of them breaks SESSION — reuse the RYW gadget as its witness.
+    "session_violation": ryw_violation,
+    "bs_3_violation": bs_3_violation,
+    "psi_violation": psi_violation,
+    "pc_violation": pc_violation,
 }
+
+
+def gadget_name(level: str) -> str:
+    """The canonical gadget key violating ``level`` (``"BS-3"`` →
+    ``"bs_3_violation"``)."""
+    return level.lower().replace("-", "_") + "_violation"
+
+
+#: For each direct edge ``(weaker, stronger)`` of the registered lattice,
+#: a gadget accepted at the weaker level and rejected at the stronger one.
+#: ``tests/test_isolation_registry.py`` asserts this map covers every edge
+#: of :func:`repro.isolation.registry.lattice_edges` and that each entry
+#: really separates its pair; ``docs/isolation_levels.md`` renders these
+#: same histories, so the documented witnesses cannot rot.
+SEPARATIONS: Dict[Tuple[str, str], str] = {
+    ("TRUE", "RYW"): "ryw_violation",
+    ("TRUE", "MR"): "mr_violation",
+    ("TRUE", "MW"): "mw_violation",
+    ("TRUE", "WFR"): "wfr_violation",
+    ("TRUE", "RC"): "rc_violation",
+    ("RYW", "SESSION"): "mr_violation",
+    ("MR", "SESSION"): "ryw_violation",
+    ("MW", "SESSION"): "ryw_violation",
+    ("WFR", "SESSION"): "ryw_violation",
+    ("RYW", "RA"): "ra_violation",
+    ("RC", "RA"): "ra_violation",
+    ("RC", "BS-3"): "bs_3_violation",
+    ("SESSION", "CC"): "session_cc_violation",
+    ("RA", "CC"): "cc_violation",
+    ("CC", "PSI"): "psi_violation",
+    ("CC", "PC"): "pc_violation",
+    ("PSI", "SI"): "si_violation",
+    ("PC", "SI"): "psi_violation",
+    ("SI", "SER"): "ser_violation",
+    ("BS-3", "SER"): "ser_violation",
+}
+
+
+def render_history(history: History) -> str:
+    """A stable, human-readable rendering of a (gadget) history.
+
+    One line per non-init transaction in ``(session, index)`` order;
+    external reads name their ``wr`` source.  Used verbatim in
+    ``docs/isolation_levels.md`` — the docs test re-renders the gadgets
+    and compares, so the documented witnesses track the code.
+    """
+    from ..core.events import EventType, INIT_TXN
+
+    lines = []
+    for tid in sorted(history.txns):
+        if tid == INIT_TXN:
+            continue
+        log = history.txns[tid]
+        ops = []
+        for event in log.events:
+            if event.type is EventType.READ and not event.local:
+                source = history.wr.get(event.eid)
+                origin = "init" if source == INIT_TXN else f"{source.session}[{source.index}]"
+                ops.append(f"read {event.var} <- {origin}")
+            elif event.type is EventType.READ:
+                ops.append(f"local read {event.var}")
+            elif event.type is EventType.WRITE:
+                ops.append(f"write {event.var}={event.value}")
+        status = "committed" if log.is_committed else ("aborted" if log.is_aborted else "pending")
+        lines.append(f"{tid.session}[{tid.index}]: " + "; ".join(ops) + f"  [{status}]")
+    return "\n".join(lines)
 
 
 def gadget_histories() -> Dict[str, History]:
@@ -198,7 +369,7 @@ def adversarial_corpus(
     gadgets = gadget_histories()
     corpus: Dict[str, List[History]] = {}
     for name in levels:
-        corpus[name] = [gadgets[f"{name.lower()}_violation"]][:per_level]
+        corpus[name] = [gadgets[gadget_name(name)]][:per_level]
     checkers = {name: get_level(name) for name in corpus}
     for i in range(max_tries):
         if all(len(bucket) >= per_level for bucket in corpus.values()):

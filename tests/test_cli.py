@@ -237,14 +237,21 @@ class TestRecordReplay:
         with pytest.raises(SystemExit, match="missing begin"):
             main(["replay", str(bad), "--online"])
 
-    def test_replay_online_rejects_unsupported_level_cleanly(self, tmp_path):
+    def test_replay_online_supports_every_registered_level(self, tmp_path):
+        """The registry made every level online-checkable — TRUE included."""
         from repro.trace import gadget_traces
 
         path = str(tmp_path / "t.jsonl")
         gadget_traces()["lost_update"].dump(path)
         assert main(["replay", path, "--isolation", "TRUE"]) == 0  # batch ok
-        with pytest.raises(SystemExit, match="online"):
-            main(["replay", path, "--isolation", "TRUE", "--online"])
+        assert main(["replay", path, "--isolation", "TRUE", "--online"]) == 0
+        # lost_update violates PSI (and SI): detection is exit code 1.
+        assert main(["replay", path, "--isolation", "PSI", "--online"]) == 1
+        # write skew satisfies everything below SER, online included.
+        skew = str(tmp_path / "skew.jsonl")
+        gadget_traces()["ser_violation"].dump(skew)
+        for level in ("SESSION", "PSI", "PC", "BS-3"):
+            assert main(["replay", skew, "--isolation", level, "--online"]) == 0
 
     def test_replay_unknown_level(self, tmp_path, capsys):
         from repro.trace import gadget_traces

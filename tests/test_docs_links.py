@@ -16,6 +16,7 @@ def test_readme_and_docs_pages_exist():
     assert (ROOT / "docs" / "trace_format.md").exists()
     assert (ROOT / "docs" / "api.md").exists()
     assert (ROOT / "docs" / "engine.md").exists()
+    assert (ROOT / "docs" / "isolation_levels.md").exists()
 
 
 def test_no_broken_relative_links():
@@ -37,9 +38,11 @@ def test_new_docs_pages_are_linked_from_readme_and_architecture():
     assert "docs/trace_format.md" in readme
     assert "docs/api.md" in readme
     assert "docs/engine.md" in readme
+    assert "docs/isolation_levels.md" in readme
     assert "trace_format.md" in architecture
     assert "api.md" in architecture
     assert "engine.md" in architecture
+    assert "isolation_levels.md" in architecture
 
 
 def test_github_slugification():
@@ -82,6 +85,40 @@ def test_api_reference_covers_the_public_surface():
         if not re.search(rf"\b{re.escape(name)}\b", api)
     ]
     assert not missing, f"docs/api.md does not mention: {sorted(missing)}"
+
+
+def test_isolation_levels_doc_covers_every_registered_level():
+    """docs/isolation_levels.md must name every registered level (as
+    `NAME`) — registering a level without documenting it fails CI."""
+    from repro.isolation import registered_levels
+
+    doc = (ROOT / "docs" / "isolation_levels.md").read_text(encoding="utf-8")
+    missing = [
+        level.name
+        for level in registered_levels()
+        if f"`{level.name}`" not in doc
+    ]
+    assert not missing, f"docs/isolation_levels.md does not cover: {missing}"
+
+
+def test_isolation_levels_doc_renders_the_real_gadgets():
+    """Every separating history shown in the doc is re-rendered from the
+    fuzzer gadget that the separation-matrix test verifies — so the doc's
+    witnesses cannot rot away from the code."""
+    from repro.trace.fuzz import SEPARATIONS, gadget_histories, render_history
+
+    doc = (ROOT / "docs" / "isolation_levels.md").read_text(encoding="utf-8")
+    histories = gadget_histories()
+    for (weaker, stronger), gadget in sorted(SEPARATIONS.items()):
+        rendered = render_history(histories[gadget])
+        assert rendered in doc, (
+            f"docs/isolation_levels.md is missing the rendered {gadget} "
+            f"history separating {weaker} < {stronger}:\n{rendered}"
+        )
+        assert f"`{weaker} < {stronger}`" in doc, (
+            f"docs/isolation_levels.md does not mention the edge "
+            f"{weaker} < {stronger}"
+        )
 
 
 def test_readme_mapping_table_covers_every_package():

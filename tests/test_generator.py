@@ -1,0 +1,204 @@
+"""The configurable workload generator (repro.apps.generator).
+
+Determinism (same spec+shape+seed ⇒ byte-identical program), knob
+effectiveness (zipf skew measurably concentrates accesses, the abort and
+read-ratio knobs move their statistics), spec-string parsing, and the
+resolver that lets generated workloads stand in for applications
+everywhere (record, bench suite, difftest).
+"""
+
+import pytest
+
+from repro.apps.generator import (
+    PRESETS,
+    WorkloadSpec,
+    generate_program,
+    key_access_counts,
+    make_workload,
+    parse_spec,
+    spec_for,
+)
+from repro.apps.workloads import (
+    APPLICATIONS,
+    application_suite,
+    client_program,
+    resolve_workload,
+    workload_names,
+)
+from repro.lang.ast import Abort, Read, Write
+
+
+def flatten_ops(program):
+    ops = []
+    for txns in program.sessions.values():
+        for txn in txns:
+            ops.extend(txn.body)
+    return ops
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        spec = WorkloadSpec(hot_key_skew=1.0, abort_rate=0.2)
+        a = generate_program(spec, sessions=3, txns_per_session=3, seed=11)
+        b = generate_program(spec, sessions=3, txns_per_session=3, seed=11)
+        assert repr(a.sessions) == repr(b.sessions)
+        assert a.variables == b.variables
+
+    def test_different_seed_different_program(self):
+        spec = WorkloadSpec()
+        a = generate_program(spec, sessions=3, txns_per_session=3, seed=0)
+        b = generate_program(spec, sessions=3, txns_per_session=3, seed=1)
+        assert repr(a.sessions) != repr(b.sessions)
+
+    def test_knob_change_rerolls(self):
+        a = generate_program(WorkloadSpec(), sessions=3, txns_per_session=3, seed=0)
+        b = generate_program(
+            WorkloadSpec(read_ratio=0.9), sessions=3, txns_per_session=3, seed=0
+        )
+        assert repr(a.sessions) != repr(b.sessions)
+
+
+class TestKnobs:
+    def test_zipf_skew_concentrates_accesses(self):
+        shape = dict(sessions=6, txns_per_session=6, seed=0)
+        flat = key_access_counts(generate_program(WorkloadSpec(), **shape))
+        hot = key_access_counts(
+            generate_program(WorkloadSpec(name="hot", hot_key_skew=2.5), **shape)
+        )
+        flat_share = flat.get("k0", 0) / sum(flat.values())
+        hot_share = hot.get("k0", 0) / sum(hot.values())
+        assert hot_share > flat_share + 0.2, (flat_share, hot_share)
+
+    def test_abort_rate_emits_aborts(self):
+        none = generate_program(
+            WorkloadSpec(), sessions=4, txns_per_session=4, seed=0
+        )
+        many = generate_program(
+            WorkloadSpec(name="aborty", abort_rate=0.9),
+            sessions=4,
+            txns_per_session=4,
+            seed=0,
+        )
+        assert not any(isinstance(op, Abort) for op in flatten_ops(none))
+        aborts = sum(isinstance(op, Abort) for op in flatten_ops(many))
+        assert aborts >= 8, aborts
+
+    def test_read_ratio_extremes(self):
+        reads_only = generate_program(
+            WorkloadSpec(name="r", read_ratio=1.0), sessions=3, txns_per_session=3, seed=0
+        )
+        writes_only = generate_program(
+            WorkloadSpec(name="w", read_ratio=0.0), sessions=3, txns_per_session=3, seed=0
+        )
+        assert all(
+            isinstance(op, Read) for op in flatten_ops(reads_only)
+            if isinstance(op, (Read, Write))
+        )
+        assert all(
+            isinstance(op, Write) for op in flatten_ops(writes_only)
+            if isinstance(op, (Read, Write))
+        )
+
+    def test_txn_length_bounds(self):
+        program = generate_program(
+            WorkloadSpec(name="len", txn_len_min=3, txn_len_max=3, abort_rate=0.0),
+            sessions=3,
+            txns_per_session=3,
+            seed=0,
+        )
+        for txns in program.sessions.values():
+            for txn in txns:
+                assert len(txn.body) == 3, txn
+
+    def test_write_values_are_distinct(self):
+        program = generate_program(
+            WorkloadSpec(name="w2", read_ratio=0.0), sessions=3, txns_per_session=3, seed=0
+        )
+        values = [op.expr for op in flatten_ops(program) if isinstance(op, Write)]
+        assert len(set(map(repr, values))) == len(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(keys=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_ratio=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(txn_len_min=4, txn_len_max=2)
+        with pytest.raises(ValueError):
+            WorkloadSpec(hot_key_skew=-1)
+
+
+class TestSpecStrings:
+    def test_full_spec_round_trip(self):
+        spec = parse_spec("gen:keys=4,skew=2.0,reads=0.8,len=2-5,aborts=0.1,mix=0.5")
+        assert spec.keys == 4
+        assert spec.hot_key_skew == 2.0
+        assert spec.read_ratio == 0.8
+        assert (spec.txn_len_min, spec.txn_len_max) == (2, 5)
+        assert spec.abort_rate == 0.1
+        assert spec.read_session_ratio == 0.5
+
+    def test_single_length(self):
+        spec = parse_spec("gen:len=3")
+        assert (spec.txn_len_min, spec.txn_len_max) == (3, 3)
+
+    def test_bare_prefix_is_default(self):
+        assert parse_spec("gen:").keys == WorkloadSpec().keys
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload knob"):
+            parse_spec("gen:bogus=1")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad value"):
+            parse_spec("gen:keys=lots")
+
+
+class TestResolver:
+    def test_presets_resolve(self):
+        for name in PRESETS:
+            program = client_program(name, 2, 2, 0)
+            assert program.name == f"{name}-1"
+
+    def test_spec_strings_resolve(self):
+        program = client_program("gen:keys=3,len=1-2", 2, 2, 0)
+        assert set(program.variables) >= {"k0", "k1", "k2"}
+
+    def test_applications_still_resolve(self):
+        assert resolve_workload("twitter") is APPLICATIONS["twitter"]
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="gen:"):
+            resolve_workload("not-a-workload")
+
+    def test_workload_names_covers_both(self):
+        names = workload_names()
+        assert set(APPLICATIONS) <= set(names)
+        assert set(PRESETS) <= set(names)
+
+    def test_applications_table_unchanged(self):
+        """The Fig. 14 default suite (and the CI benchmark baselines) are
+        keyed off APPLICATIONS — generated workloads must stay opt-in."""
+        assert sorted(APPLICATIONS) == [
+            "courseware", "shoppingCart", "tpcc", "twitter", "wikipedia",
+        ]
+
+    def test_suite_accepts_generated_workloads(self):
+        suite = application_suite(2, 2, programs_per_app=2, apps=("gen-hotspot",))
+        assert len(suite) == 2
+        assert all(p.name.startswith("gen-hotspot") for p in suite)
+
+    def test_make_workload_signature_matches_applications(self):
+        make = make_workload(spec_for("gen-uniform"))
+        program = make(sessions=2, txns_per_session=2, seed=1, name="n")
+        assert program.name == "n"
+
+
+class TestGeneratedProgramsCheck:
+    def test_model_checks_under_new_levels(self):
+        from repro.checking.checker import ModelChecker
+
+        program = client_program("gen:keys=3,len=1-2", 2, 2, 3)
+        for level in ("CC", "PSI", "BS-3"):
+            result = ModelChecker(program, isolation=level).run()
+            assert result.stats.outputs >= 1, level

@@ -182,11 +182,24 @@ class TestAnomalyCatalogue:
 class TestLevelMetadata:
     def test_strength_chain(self):
         names = [l.name for l in registered_levels()]
-        assert names == ["TRUE", "RC", "RA", "CC", "SI", "SER"]
+        assert names == [
+            "TRUE", "RYW", "MR", "MW", "WFR", "SESSION",
+            "RC", "BS-3", "RA", "CC", "PSI", "PC", "SI", "SER",
+        ]
+        # The paper's original chain keeps its relative order.
+        chain = [n for n in names if n in ("RC", "RA", "CC", "SI", "SER")]
+        assert chain == ["RC", "RA", "CC", "SI", "SER"]
 
     def test_weaker_than(self):
         assert get_level("RC").is_weaker_than(get_level("SER"))
         assert not get_level("SER").is_weaker_than(get_level("CC"))
+        # The extended lattice is a partial order, not a chain.
+        assert get_level("BS-3").is_weaker_than(get_level("SER"))
+        assert not get_level("BS-3").is_weaker_than(get_level("SI"))
+        assert not get_level("PSI").is_weaker_than(get_level("PC"))
+        assert not get_level("PC").is_weaker_than(get_level("PSI"))
+        assert get_level("SESSION").is_weaker_than(get_level("CC"))
+        assert get_level("RYW").is_weaker_than(get_level("RA"))
 
     def test_causal_extensibility_flags_match_theorems(self):
         # Theorem 3.4 and the Fig. 6 counterexample.

@@ -169,7 +169,14 @@ class TestApiSurface:
 
     def test_unknown_level_rejected(self):
         with pytest.raises(ValueError):
-            OnlineChecker(["x"], levels=["TRUE"])
+            OnlineChecker(["x"], levels=["BOGUS"])
+
+    def test_every_registered_level_accepted(self):
+        from repro.isolation import registered_levels
+
+        names = [level.name for level in registered_levels()]
+        checker = OnlineChecker(["x"], levels=names)
+        assert checker.levels == tuple(names)
 
     def test_malformed_stream_rejected(self):
         checker = OnlineChecker(["x"])

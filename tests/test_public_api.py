@@ -40,7 +40,10 @@ class TestExports:
 
     def test_registered_levels_exposed(self):
         names = [level.name for level in repro.registered_levels()]
-        assert names == ["TRUE", "RC", "RA", "CC", "SI", "SER"]
+        assert names == [
+            "TRUE", "RYW", "MR", "MW", "WFR", "SESSION",
+            "RC", "BS-3", "RA", "CC", "PSI", "PC", "SI", "SER",
+        ]
 
     def test_algorithm_helpers_exposed(self):
         p = repro.ProgramBuilder("tiny")
